@@ -1,0 +1,71 @@
+"""Ablation A1 — adaptation granularity: how many partitions to hash into.
+
+The paper's §2 design rule ("each split operator divides each input stream
+into a much larger number of partitions than the number of available
+machines", e.g. 500 over 10 machines) exists so adaptation can move/spill
+state in fine slices without re-hashing.  This ablation varies the
+partition count on the Figure 7 workload: with very few coarse partitions
+a spill overshoots its target amount (it must evict whole groups) and is
+likelier to evict productive state mixed in with cold state.
+
+Expected shape: finer granularity spills closer to the requested fraction
+(less overshoot) and yields at least as much run-time output.
+"""
+
+from repro.bench import current_scale, run_experiment, series_table
+from repro.bench.harness import sample_times
+from repro.core.config import StrategyName
+from repro.workloads import WorkloadSpec
+
+GRANULARITIES = (3, 12, 60, 240)
+
+
+def run_ablation():
+    scale = current_scale()
+    results = {}
+    overshoot = {}
+    for n in GRANULARITIES:
+        workload = WorkloadSpec.mixed_rates(
+            n, {4.0: 1 / 3, 2.0: 1 / 3, 1.0: 1 / 3},
+            tuple_range=scale.tuple_range,
+            interarrival=scale.interarrival,
+        )
+        label = f"{n}-partitions"
+        result = run_experiment(
+            label, workload, strategy=StrategyName.NO_RELOCATION,
+            workers=1, duration=scale.duration,
+            sample_interval=scale.sample_interval,
+            memory_threshold=scale.memory_threshold,
+            batch_size=scale.batch_size,
+        )
+        results[label] = result
+        spill_events = result.deployment.metrics.events.of_kind("spill")
+        if spill_events:
+            # mean spilled volume relative to the 30% target of the
+            # pre-spill state (approximated by threshold)
+            mean_bytes = (sum(e.details["bytes"] for e in spill_events)
+                          / len(spill_events))
+            overshoot[label] = mean_bytes / (0.3 * scale.memory_threshold)
+        else:
+            overshoot[label] = float("nan")
+    return scale, results, overshoot
+
+
+def test_ablation_granularity(benchmark, report):
+    scale, results, overshoot = benchmark.pedantic(run_ablation, rounds=1,
+                                                   iterations=1)
+    times = sample_times(scale.duration, scale.sample_interval)
+    table = series_table({k: r.outputs for k, r in results.items()}, times)
+    fmt_overshoot = {k: f"{v:.2f}x" for k, v in overshoot.items()}
+    report(
+        "Ablation A1 — partition-count granularity on the mixed-rate "
+        "workload: cumulative outputs\n"
+        f"({scale.describe()})\n\n{table}\n\n"
+        f"mean spill volume vs 30% target: {fmt_overshoot}"
+    )
+    end = scale.duration
+    coarse = results["3-partitions"].output_at(end)
+    fine = results["60-partitions"].output_at(end)
+    assert fine >= coarse, "fine granularity should not lose to coarse"
+    # coarse partitions cannot hit the 30% spill target precisely
+    assert overshoot["3-partitions"] > overshoot["240-partitions"]

@@ -1,0 +1,92 @@
+"""Ablation A3 — relocation cost sensitivity to network speed.
+
+The paper's §4.2 caveat: "The state relocation cost is expected to be
+higher if the underlying network is slow and unreliable."  Their gigabit
+fabric makes relocation nearly free (Figure 9); this ablation degrades the
+link bandwidth by 10x / 100x / 1000x and repeats the alternating-load
+experiment to locate where relocation stops being a clear win.
+
+Shape criteria: at gigabit speed relocated throughput is within 10 % of
+All-Mem; as bandwidth drops the gap widens monotonically, and protocol
+sessions take visibly longer.
+"""
+
+from repro.bench import current_scale, run_experiment
+from repro.bench.report import format_table
+from repro.core.config import CostModel, StrategyName
+
+from bench_fig09_relocation_threshold import alternating_workload
+
+BANDWIDTHS = {
+    "1 Gbit/s": 125e6,
+    "100 Mbit/s": 12.5e6,
+    "10 Mbit/s": 1.25e6,
+    "1 Mbit/s": 0.125e6,
+}
+
+
+def run_ablation():
+    scale = current_scale()
+    workload = alternating_workload(scale)
+    base = run_experiment(
+        "All-Mem", workload, strategy=StrategyName.ALL_MEMORY,
+        workers=2, duration=scale.duration,
+        sample_interval=scale.sample_interval,
+        memory_threshold=scale.memory_threshold, batch_size=scale.batch_size,
+    )
+    runs = {}
+    for label, bandwidth in BANDWIDTHS.items():
+        cost = CostModel(network_bandwidth=bandwidth)
+        runs[label] = run_experiment(
+            label, workload, strategy=StrategyName.RELOCATION_ONLY,
+            workers=2, duration=scale.duration,
+            sample_interval=scale.sample_interval,
+            memory_threshold=scale.memory_threshold,
+            batch_size=scale.batch_size,
+            config_overrides=dict(theta_r=0.9, tau_m=45.0),
+            cost=cost,
+        )
+    return scale, base, runs
+
+
+def mean_session_duration(result):
+    events = result.deployment.metrics.events.of_kind("relocation")
+    if not events:
+        return 0.0
+    return sum(e.details["duration"] for e in events) / len(events)
+
+
+def test_ablation_network_speed(benchmark, report):
+    scale, base, runs = benchmark.pedantic(run_ablation, rounds=1,
+                                           iterations=1)
+    end = scale.duration
+    baseline = base.output_at(end)
+    rows = []
+    ratios = {}
+    for label, result in runs.items():
+        ratio = result.output_at(end) / baseline
+        ratios[label] = ratio
+        rows.append([
+            label,
+            f"{result.output_at(end):,.0f}",
+            f"{ratio:.3f}",
+            str(result.relocations),
+            f"{mean_session_duration(result):.2f}",
+        ])
+    table = format_table(
+        ["network", "outputs", "vs All-Mem", "relocations",
+         "mean session (s)"],
+        rows,
+    )
+    report(
+        "Ablation A3 — relocation under degraded network bandwidth, "
+        "alternating load (paper §4.2 caveat)\n"
+        f"({scale.describe()}; All-Mem baseline = {baseline:,.0f})\n\n{table}"
+    )
+    assert ratios["1 Gbit/s"] > 0.9
+    # degradation is monotone in bandwidth
+    ordered = [ratios[l] for l in BANDWIDTHS]
+    assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:])), ordered
+    # bulk transfers genuinely slow down on the thin pipe
+    assert (mean_session_duration(runs["1 Mbit/s"])
+            > mean_session_duration(runs["1 Gbit/s"]))

@@ -1,0 +1,78 @@
+"""Ablation A5 — partition-level vs whole-operator relocation (§6 contrast).
+
+Aurora*/Borealis-era systems balance load by moving *complete operators*
+between machines; the paper's design moves partition groups.  Under the
+alternating-load workload of Figures 9-10 the difference is stark: a
+whole-operator move dumps the sender's entire state onto the receiver
+(inverting the imbalance instead of halving it) and ships far more bytes
+per adaptation.
+
+Shape criteria: partition-scope relocation achieves a tighter memory
+balance and ships fewer state bytes over the run; both remain correct.
+"""
+
+from repro.bench import current_scale, run_experiment
+from repro.bench.harness import sample_times
+from repro.bench.report import format_table
+from repro.core.config import RelocationScope, StrategyName
+
+from bench_fig09_relocation_threshold import alternating_workload
+from bench_fig10_relocation_memory import imbalance
+
+
+def run_ablation():
+    scale = current_scale()
+    workload = alternating_workload(scale)
+    runs = {}
+    for label, scope in (
+        ("partition-moves", RelocationScope.PARTITIONS),
+        ("operator-moves", RelocationScope.OPERATOR),
+    ):
+        runs[label] = run_experiment(
+            label, workload, strategy=StrategyName.RELOCATION_ONLY,
+            workers=2, duration=scale.duration,
+            sample_interval=scale.sample_interval,
+            memory_threshold=scale.memory_threshold,
+            batch_size=scale.batch_size,
+            config_overrides=dict(theta_r=0.9, tau_m=45.0,
+                                  relocation_scope=scope),
+        )
+    return scale, runs
+
+
+def test_ablation_operator_move(benchmark, report):
+    scale, runs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    times = sample_times(scale.duration, scale.sample_interval)
+    second_half = [t for t in times if t >= scale.duration / 2]
+    rows = []
+    measures = {}
+    for label, result in runs.items():
+        moved = sum(
+            e.details["bytes"]
+            for e in result.deployment.metrics.events.of_kind("relocation")
+        )
+        skew = imbalance(result, second_half)
+        measures[label] = (moved, skew)
+        rows.append([
+            label,
+            f"{result.total_outputs:,}",
+            str(result.relocations),
+            f"{moved / 1e6:.2f}",
+            f"{skew:.3f}",
+        ])
+    table = format_table(
+        ["granularity", "outputs", "relocations", "state moved (MB)",
+         "mean imbalance (2nd half)"],
+        rows,
+    )
+    report(
+        "Ablation A5 — partition-level vs whole-operator relocation under "
+        "alternating load (paper §6 contrast)\n"
+        f"({scale.describe()})\n\n{table}"
+    )
+    part_moved, part_skew = measures["partition-moves"]
+    op_moved, op_skew = measures["operator-moves"]
+    assert runs["operator-moves"].relocations > 0
+    # whole-operator moves ship more state and leave a worse balance
+    assert op_moved > part_moved
+    assert op_skew > part_skew

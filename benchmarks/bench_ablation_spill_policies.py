@@ -1,0 +1,61 @@
+"""Ablation A2 — all four spill victim-selection policies head-to-head.
+
+The paper evaluates less- vs more-productive (Figure 7) and cites XJoin's
+largest-first; the Figure 5/6 sensitivity runs use random victims.  This
+ablation runs all four on the mixed-productivity workload to order the
+whole design space.
+
+Expected ordering: less-productive ≥ {random, largest} ≥ more-productive.
+"""
+
+from repro.bench import current_scale, run_experiment, series_table
+from repro.bench.harness import sample_times
+from repro.core.config import SpillPolicyName, StrategyName
+from repro.workloads import WorkloadSpec
+
+POLICIES = (
+    SpillPolicyName.LESS_PRODUCTIVE,
+    SpillPolicyName.RANDOM,
+    SpillPolicyName.LARGEST,
+    SpillPolicyName.MORE_PRODUCTIVE,
+)
+
+
+def run_ablation():
+    scale = current_scale()
+    workload = WorkloadSpec.mixed_rates(
+        scale.n_partitions,
+        {4.0: 1 / 3, 2.0: 1 / 3, 1.0: 1 / 3},
+        tuple_range=scale.tuple_range,
+        interarrival=scale.interarrival,
+    )
+    results = {}
+    for policy in POLICIES:
+        results[policy.value] = run_experiment(
+            policy.value, workload, strategy=StrategyName.NO_RELOCATION,
+            workers=1, duration=scale.duration,
+            sample_interval=scale.sample_interval,
+            memory_threshold=scale.memory_threshold,
+            batch_size=scale.batch_size,
+            config_overrides=dict(spill_policy=policy),
+        )
+    return scale, results
+
+
+def test_ablation_spill_policies(benchmark, report):
+    scale, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    times = sample_times(scale.duration, scale.sample_interval)
+    table = series_table({k: r.outputs for k, r in results.items()}, times)
+    end = scale.duration
+    finals = {k: r.output_at(end) for k, r in results.items()}
+    ranking = sorted(finals, key=finals.get, reverse=True)
+    report(
+        "Ablation A2 — spill policy comparison on the mixed-rate workload: "
+        "cumulative outputs\n"
+        f"({scale.describe()})\n\n{table}\n\nfinal ranking: {ranking}"
+    )
+    assert all(r.spills > 0 for r in results.values())
+    assert finals["less_productive"] >= finals["random"]
+    assert finals["less_productive"] >= finals["largest"]
+    assert finals["random"] >= finals["more_productive"]
+    assert finals["less_productive"] > finals["more_productive"] * 1.2

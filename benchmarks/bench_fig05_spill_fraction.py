@@ -1,0 +1,72 @@
+"""Figure 5 — sensitivity of run-time throughput to the spill fraction k%.
+
+Paper setup (§3.2): three-way join on ONE machine; 30 ms inter-arrival;
+tuple range 30 K; join rate 3; spill triggered over 200 MB; *random* choice
+of partition groups to push; k% of resident state pushed per spill, k from
+10 to 100; All-Mem reference.
+
+Paper finding: "the more states are being pushed into the disk each time,
+the smaller the overall throughput", with All-Mem on top.
+
+Shape criteria checked here: All-Mem dominates every spilling run, and a
+small push fraction (10-30 %) out-produces pushing everything (100 %).
+"""
+
+from repro.bench import current_scale, run_experiment, series_table
+from repro.bench.harness import sample_times
+from repro.core.config import SpillPolicyName, StrategyName
+from repro.workloads import WorkloadSpec
+
+FRACTIONS = (0.10, 0.30, 0.50, 0.70, 1.00)
+
+
+def run_fig5():
+    scale = current_scale()
+    workload = WorkloadSpec.uniform(
+        n_partitions=scale.n_partitions,
+        join_rate=3.0,
+        tuple_range=scale.tuple_range,
+        interarrival=scale.interarrival,
+    )
+    results = {}
+    results["All-Mem"] = run_experiment(
+        "All-Mem", workload, strategy=StrategyName.ALL_MEMORY,
+        workers=1, duration=scale.duration,
+        sample_interval=scale.sample_interval,
+        memory_threshold=scale.memory_threshold, batch_size=scale.batch_size,
+    )
+    for fraction in FRACTIONS:
+        label = f"{int(fraction * 100)}%-push"
+        results[label] = run_experiment(
+            label, workload, strategy=StrategyName.NO_RELOCATION,
+            workers=1, duration=scale.duration,
+            sample_interval=scale.sample_interval,
+            memory_threshold=scale.memory_threshold,
+            batch_size=scale.batch_size,
+            config_overrides=dict(
+                spill_fraction=fraction,
+                spill_policy=SpillPolicyName.RANDOM,
+            ),
+        )
+    return scale, results
+
+
+def test_fig05_spill_fraction(benchmark, report):
+    scale, results = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    times = sample_times(scale.duration, scale.sample_interval)
+    table = series_table({k: r.outputs for k, r in results.items()}, times)
+    report(
+        "Figure 5 — varying k% pushed per spill: cumulative output tuples\n"
+        f"({scale.describe()})\n\n{table}"
+    )
+    end = scale.duration
+    all_mem = results["All-Mem"].output_at(end)
+    for fraction in FRACTIONS:
+        label = f"{int(fraction * 100)}%-push"
+        assert results[label].output_at(end) <= all_mem, (
+            f"{label} out-produced All-Mem"
+        )
+        assert results[label].spills > 0, f"{label} never spilled"
+    # smaller pushes keep more (random) state active -> more output
+    assert results["10%-push"].output_at(end) > results["100%-push"].output_at(end)
+    assert results["30%-push"].output_at(end) > results["100%-push"].output_at(end)

@@ -1,0 +1,77 @@
+"""Figure 6 — memory usage over time while varying the spill fraction k%.
+
+Same runs as Figure 5, but plotting the machine's state volume: each spill
+is one "zag" dropping the curve by ~k% of resident state.
+
+Paper findings: memory "can be effectively controlled to avoid system
+crash", and "the more states we push in each adaptation, the fewer times we
+need to trigger the state-spill process".
+
+Shape criteria: every spilling run keeps memory bounded near the threshold
+(while All-Mem grows past it), and the spill count decreases as k grows.
+"""
+
+from repro.bench import current_scale, run_experiment, series_table
+from repro.bench.harness import sample_times
+from repro.core.config import SpillPolicyName, StrategyName
+from repro.workloads import WorkloadSpec
+
+FRACTIONS = (0.10, 0.30, 0.50, 1.00)
+
+
+def run_fig6():
+    scale = current_scale()
+    workload = WorkloadSpec.uniform(
+        n_partitions=scale.n_partitions,
+        join_rate=3.0,
+        tuple_range=scale.tuple_range,
+        interarrival=scale.interarrival,
+    )
+    results = {}
+    results["All-Mem"] = run_experiment(
+        "All-Mem", workload, strategy=StrategyName.ALL_MEMORY,
+        workers=1, duration=scale.duration,
+        sample_interval=scale.sample_interval,
+        memory_threshold=scale.memory_threshold, batch_size=scale.batch_size,
+    )
+    for fraction in FRACTIONS:
+        label = f"{int(fraction * 100)}%-push"
+        results[label] = run_experiment(
+            label, workload, strategy=StrategyName.NO_RELOCATION,
+            workers=1, duration=scale.duration,
+            sample_interval=scale.sample_interval,
+            memory_threshold=scale.memory_threshold,
+            batch_size=scale.batch_size,
+            config_overrides=dict(
+                spill_fraction=fraction,
+                spill_policy=SpillPolicyName.RANDOM,
+            ),
+        )
+    return scale, results
+
+
+def test_fig06_spill_memory(benchmark, report):
+    scale, results = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    times = sample_times(scale.duration, scale.sample_interval)
+    mem_mb = lambda v: f"{v / 1e6:.2f}"
+    table = series_table(
+        {k: r.deployment.memory_series("m1") for k, r in results.items()},
+        times,
+        value_fmt=mem_mb,
+    )
+    spill_counts = {k: r.spills for k, r in results.items()}
+    report(
+        "Figure 6 — varying k% pushed per spill: machine memory usage (MB)\n"
+        f"({scale.describe()})\n\n{table}\n\nspills per run: {spill_counts}"
+    )
+    threshold = scale.memory_threshold
+    # All-Mem grows beyond the threshold (that's why spill exists)
+    assert results["All-Mem"].deployment.memory_series("m1").max() > threshold
+    for fraction in FRACTIONS:
+        label = f"{int(fraction * 100)}%-push"
+        peak = results[label].deployment.memory_series("m1").max()
+        # bounded: the ss_timer may let memory overshoot by one check
+        # period's worth of arrivals, not more
+        assert peak < threshold * 1.5, f"{label} peaked at {peak}"
+    # bigger pushes -> fewer adaptations
+    assert spill_counts["10%-push"] > spill_counts["50%-push"] >= spill_counts["100%-push"]

@@ -1,0 +1,76 @@
+"""Figure 10 — memory balance with vs without state relocation.
+
+Same alternating-load setup as Figure 9 with θ_r = 90 %, τ_m = 45 s,
+plotting each machine's memory usage over time.
+
+Paper finding: without relocation the two machines' memory consumption
+"alternatively changes" with the input pattern; with relocation it
+"remains largely balanced".
+
+Shape criteria: the mean |mem(m1) − mem(m2)| / total imbalance over the
+run's second half is substantially smaller with relocation than without.
+"""
+
+from repro.bench import current_scale, run_experiment, series_table
+from repro.bench.harness import sample_times
+from repro.core.config import StrategyName
+
+from bench_fig09_relocation_threshold import alternating_workload
+
+
+def imbalance(result, times):
+    """Mean relative memory imbalance |m1-m2|/(m1+m2) over given instants."""
+    m1 = result.deployment.memory_series("m1")
+    m2 = result.deployment.memory_series("m2")
+    ratios = []
+    for t in times:
+        a, b = m1.value_at(t), m2.value_at(t)
+        if a + b > 0:
+            ratios.append(abs(a - b) / (a + b))
+    return sum(ratios) / len(ratios)
+
+
+def run_fig10():
+    scale = current_scale()
+    workload = alternating_workload(scale)
+    common = dict(
+        workers=2, duration=scale.duration,
+        sample_interval=scale.sample_interval,
+        memory_threshold=scale.memory_threshold, batch_size=scale.batch_size,
+    )
+    no_reloc = run_experiment("no-relocation", workload,
+                              strategy=StrategyName.ALL_MEMORY, **common)
+    with_reloc = run_experiment(
+        "with-relocation", workload, strategy=StrategyName.RELOCATION_ONLY,
+        config_overrides=dict(theta_r=0.9, tau_m=45.0), **common
+    )
+    return scale, no_reloc, with_reloc
+
+
+def test_fig10_relocation_memory(benchmark, report):
+    scale, no_reloc, with_reloc = benchmark.pedantic(run_fig10, rounds=1,
+                                                     iterations=1)
+    times = sample_times(scale.duration, scale.sample_interval)
+    mem_mb = lambda v: f"{v / 1e6:.2f}"
+    columns = {
+        "no-relocation-M1": no_reloc.deployment.memory_series("m1"),
+        "no-relocation-M2": no_reloc.deployment.memory_series("m2"),
+        "with-relocation-M1": with_reloc.deployment.memory_series("m1"),
+        "with-relocation-M2": with_reloc.deployment.memory_series("m2"),
+    }
+    table = series_table(columns, times, value_fmt=mem_mb)
+    second_half = [t for t in times if t >= scale.duration / 2]
+    skew_without = imbalance(no_reloc, second_half)
+    skew_with = imbalance(with_reloc, second_half)
+    report(
+        "Figure 10 — memory usage (MB) with vs without relocation, "
+        "θ_r=90%, alternating load\n"
+        f"({scale.describe()})\n\n{table}\n\n"
+        f"mean relative imbalance (2nd half): without={skew_without:.3f}, "
+        f"with={skew_with:.3f}; relocations={with_reloc.relocations}"
+    )
+    assert with_reloc.relocations > 0
+    assert skew_with < skew_without * 0.6, (
+        f"relocation did not balance memory: {skew_with:.3f} vs "
+        f"{skew_without:.3f}"
+    )

@@ -1,0 +1,62 @@
+"""Figure 14 — lazy vs active disk with a widened productivity gap.
+
+Paper setup (§5.4): same as Figure 13 but the hot machine's partitions get
+a *small* tuple range (15 K — larger join factor per input tuple) while the
+cold machines' partitions get a large one (45 K), further differentiating
+the machines' average productivity rates.
+
+Paper finding: "the active-disk approach has a major throughput improvement
+compared with that of the lazy-disk approach".
+
+Shape criteria: active-disk wins again, and by a larger relative margin
+than in the Figure 13 configuration.
+"""
+
+from repro.bench import current_scale, series_table
+from repro.bench.harness import sample_times
+
+from bench_fig13_active_vs_lazy import run_comparison, skewed_rate_workload
+
+
+def run_fig14():
+    scale = current_scale()
+    narrow = skewed_rate_workload(scale)  # Fig 13 configuration
+    wide = skewed_rate_workload(
+        scale,
+        hot_range=scale.tuple_range // 2,
+        cold_range=scale.tuple_range * 3 // 2,
+    )
+    __, duration, lazy13, active13 = run_comparison(narrow, scale)
+    threshold, duration, lazy14, active14 = run_comparison(wide, scale)
+    return scale, threshold, duration, (lazy13, active13), (lazy14, active14)
+
+
+def gain(lazy, active, end):
+    return (active.output_at(end) - lazy.output_at(end)) / lazy.output_at(end)
+
+
+def test_fig14_active_vs_lazy_skewed(benchmark, report):
+    scale, threshold, duration, fig13, fig14 = benchmark.pedantic(
+        run_fig14, rounds=1, iterations=1
+    )
+    lazy13, active13 = fig13
+    lazy14, active14 = fig14
+    end = duration
+    times = sample_times(duration, scale.sample_interval)
+    table = series_table(
+        {"lazy-disk": lazy14.outputs, "active-disk": active14.outputs}, times
+    )
+    g13, g14 = gain(lazy13, active13, end), gain(lazy14, active14, end)
+    report(
+        "Figure 14 — lazy vs active disk with widened productivity gap "
+        "(hot tuple range 1/2x, cold 1.5x): cumulative outputs\n"
+        f"({scale.describe()}; spill threshold {threshold / 1e6:.2f} MB)\n\n"
+        f"{table}\n\n"
+        f"active-disk end gain: fig13-config={g13 * 100:.0f}%, "
+        f"fig14-config={g14 * 100:.0f}% (paper: 'major improvement')"
+    )
+    assert active14.output_at(end) > lazy14.output_at(end)
+    forced = active14.deployment.metrics.events.count("forced_spill")
+    assert forced > 0
+    # the widened gap amplifies active-disk's advantage
+    assert g14 > g13, f"gain did not widen: {g14:.2%} <= {g13:.2%}"

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark renders its paper-style series table and writes it both to
+stdout (visible with ``pytest -s``) and to ``benchmarks/results/<test>.txt``
+so the numbers survive pytest's output capture.  EXPERIMENTS.md embeds the
+recorded tables.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """Callable ``report(text)``: persist + print one benchmark's tables."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{request.node.name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Windowed continuous query — the infinite-stream setting of §1.
+
+The paper notes its techniques "could also be applied to cases with
+infinite data streams as long as operators have finite window sizes".
+This example runs a *windowed* 3-way join (sensor fusion: three sensor
+feeds correlated on a site key within a 30-second window) and shows the
+complementary state-management tool for that setting: window **purging**,
+which reclaims state that can never join again — contrasted with the
+spill adaptation, which parks still-useful state on disk.
+
+Run:  python examples/windowed_monitoring.py
+"""
+
+from repro import AdaptationConfig, Deployment, StrategyName
+from repro.workloads import WorkloadSpec, three_way_join
+
+WINDOW = 30.0  # seconds
+PURGE_EVERY = 15.0
+
+
+def main() -> None:
+    join = three_way_join(window=WINDOW)
+    workload = WorkloadSpec.uniform(
+        n_partitions=12,
+        join_rate=4.0,
+        tuple_range=1_200,
+        interarrival=0.02,
+    )
+    deployment = Deployment(
+        join=join,
+        workload=workload,
+        workers=["node1", "node2"],
+        config=AdaptationConfig(strategy=StrategyName.ALL_MEMORY),
+    )
+
+    # periodic window purging: drop tuples older than (now - WINDOW)
+    purged_total = {"n": 0}
+
+    def purge() -> None:
+        for instance in deployment.instances.values():
+            purged_total["n"] += instance.purge_window(deployment.sim.now)
+
+    from repro.cluster.simulation import Timer
+
+    purge_timer = Timer(deployment.sim, PURGE_EVERY, purge)
+    # a recurring timer must eventually stop, or the post-run drain would
+    # re-arm it forever; one extra minute lets it sweep the drain backlog
+    deployment.sim.schedule_at(420.0, purge_timer.stop)
+
+    print(f"running a {WINDOW:.0f}s-window sensor-fusion join for "
+          "6 simulated minutes, purging expired state every "
+          f"{PURGE_EVERY:.0f}s ...")
+    deployment.run(duration=360, sample_interval=30)
+
+    print(f"\nwindowed matches produced : {deployment.total_outputs:,}")
+    print(f"tuples purged as expired  : {purged_total['n']:,}")
+    print(f"state resident at end     : {deployment.total_state_bytes():,} B")
+
+    # with purging, memory plateaus instead of growing monotonically:
+    series = deployment.memory_series("node1")
+    mid = series.value_at(180.0)
+    end = series.value_at(360.0)
+    print(f"\nnode1 state at 3 min: {mid:,.0f} B;  at 6 min: {end:,.0f} B "
+          f"({'plateaued' if end < mid * 1.5 else 'still growing'})")
+    print("\ncompare: without a window (the paper's data-integration "
+          "setting),\nstate grows monotonically and spill/relocation "
+          "adaptations take over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy-path shim: the offline environment has no `wheel`, so editable
+installs must use `setup.py develop`.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

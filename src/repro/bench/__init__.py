@@ -1,0 +1,26 @@
+"""Benchmark harness: experiment runners, scaling, and report formatting.
+
+Each figure/table of the paper has one module under ``benchmarks/`` that
+builds its workload with :mod:`repro.bench.harness` helpers, runs the
+competing configurations, prints the paper-style series/table via
+:mod:`repro.bench.report`, and asserts the *shape* criteria recorded in
+EXPERIMENTS.md.  :mod:`repro.bench.scale` centralises the scale-down from
+the paper's cluster (hours, hundreds of MB) to simulation defaults
+(tens of simulated minutes, a few MB) — set ``REPRO_BENCH_SCALE=quick`` or
+``=full`` to shrink or extend every benchmark consistently.
+"""
+
+from repro.bench.harness import RunResult, run_experiment
+from repro.bench.report import format_table, rate_table, series_csv, series_table
+from repro.bench.scale import BenchScale, current_scale
+
+__all__ = [
+    "BenchScale",
+    "RunResult",
+    "current_scale",
+    "format_table",
+    "rate_table",
+    "run_experiment",
+    "series_csv",
+    "series_table",
+]

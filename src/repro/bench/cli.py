@@ -1,0 +1,138 @@
+"""Command-line experiment runner: ``python -m repro.bench``.
+
+A thin convenience layer over the benchmark harness for running a single
+configuration without pytest — useful for exploring parameter spaces
+interactively:
+
+.. code-block:: console
+
+   $ python -m repro.bench --strategy lazy_disk --workers 3 \\
+         --assignment 0.6,0.2,0.2 --minutes 10 --threshold-kb 500
+   $ python -m repro.bench --strategy active_disk --join-rate 4 --list
+
+``--list`` prints the available strategies and spill policies and exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import run_experiment, sample_times
+from repro.bench.report import kv_block, series_table
+from repro.core.config import SpillPolicyName, StrategyName
+from repro.workloads.generator import WorkloadSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (kept separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run one adaptation experiment on the simulated cluster.",
+    )
+    parser.add_argument("--strategy", default="lazy_disk",
+                        choices=[s.value for s in StrategyName])
+    parser.add_argument("--spill-policy", default="less_productive",
+                        choices=[p.value for p in SpillPolicyName])
+    parser.add_argument("--workers", type=int, default=3,
+                        help="number of worker machines (default 3)")
+    parser.add_argument("--assignment", default=None,
+                        help="comma-separated initial partition weights, "
+                             "one per worker (e.g. 0.6,0.2,0.2)")
+    parser.add_argument("--minutes", type=float, default=10.0,
+                        help="simulated run length in minutes (default 10)")
+    parser.add_argument("--threshold-kb", type=float, default=500.0,
+                        help="spill threshold per machine in KB (default 500)")
+    parser.add_argument("--partitions", type=int, default=24)
+    parser.add_argument("--join-rate", type=float, default=3.0)
+    parser.add_argument("--tuple-range", type=int, default=3000)
+    parser.add_argument("--interarrival-ms", type=float, default=30.0)
+    parser.add_argument("--theta-r", type=float, default=0.8)
+    parser.add_argument("--tau-m", type=float, default=45.0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--no-cleanup", action="store_true",
+                        help="skip the cleanup phase")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="also write the output series as CSV to PATH")
+    parser.add_argument("--list", action="store_true",
+                        help="list strategies and spill policies, then exit")
+    return parser
+
+
+def parse_assignment(spec: str | None, workers: list[str]) -> dict | None:
+    """Parse a comma-separated weight list into a {worker: weight} map."""
+    if spec is None:
+        return None
+    weights = [float(w) for w in spec.split(",")]
+    if len(weights) != len(workers):
+        raise SystemExit(
+            f"--assignment needs {len(workers)} weights, got {len(weights)}"
+        )
+    return dict(zip(workers, weights))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run one experiment and print its series + summary."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("strategies:     " + ", ".join(s.value for s in StrategyName))
+        print("spill policies: " + ", ".join(p.value for p in SpillPolicyName))
+        return 0
+
+    workers = [f"m{i + 1}" for i in range(args.workers)]
+    duration = args.minutes * 60.0
+    sample_interval = max(duration / 10.0, 1.0)
+    workload = WorkloadSpec.uniform(
+        n_partitions=args.partitions,
+        join_rate=args.join_rate,
+        tuple_range=args.tuple_range,
+        interarrival=args.interarrival_ms / 1000.0,
+        seed=args.seed,
+    )
+    result = run_experiment(
+        args.strategy,
+        workload,
+        strategy=args.strategy,
+        workers=workers,
+        assignment=parse_assignment(args.assignment, workers),
+        duration=duration,
+        sample_interval=sample_interval,
+        memory_threshold=int(args.threshold_kb * 1000),
+        config_overrides=dict(
+            theta_r=args.theta_r,
+            tau_m=args.tau_m,
+            spill_policy=SpillPolicyName(args.spill_policy),
+        ),
+        with_cleanup=not args.no_cleanup,
+        seed=args.seed,
+    )
+
+    times = sample_times(duration, sample_interval)
+    print(series_table({"outputs": result.outputs}, times))
+    print()
+    if args.csv:
+        from repro.bench.report import series_csv
+
+        columns = {"outputs": result.outputs}
+        for worker in workers:
+            columns[f"memory_{worker}"] = result.deployment.memory_series(worker)
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(series_csv(columns, times) + "\n")
+        print(f"[series written to {args.csv}]\n")
+    summary = {
+        "strategy": args.strategy,
+        "run-time outputs": f"{result.total_outputs:,}",
+        "relocations": result.relocations,
+        "spills": result.spills,
+        "state in memory (B)": f"{result.deployment.total_state_bytes():,}",
+        "state on disk (B)": f"{result.deployment.spilled_bytes():,}",
+    }
+    if result.cleanup is not None:
+        summary["cleanup results"] = f"{result.cleanup.missing_results:,}"
+        summary["cleanup wall (s)"] = f"{result.cleanup.wall_duration:.1f}"
+    print(kv_block("summary", summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

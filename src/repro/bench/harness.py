@@ -1,0 +1,102 @@
+"""Experiment runner shared by all benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cleanup import CleanupReport
+from repro.core.config import AdaptationConfig, CostModel, StrategyName
+from repro.engine.plan import Deployment
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.queries import three_way_join
+
+
+@dataclass
+class RunResult:
+    """Outcome of one benchmark configuration run."""
+
+    label: str
+    deployment: Deployment
+    cleanup: CleanupReport | None = None
+
+    @property
+    def outputs(self):
+        return self.deployment.output_series()
+
+    @property
+    def total_outputs(self) -> int:
+        return self.deployment.total_outputs
+
+    @property
+    def spills(self) -> int:
+        return self.deployment.spill_count
+
+    @property
+    def relocations(self) -> int:
+        return self.deployment.relocation_count
+
+    def output_at(self, time: float) -> float:
+        """Cumulative outputs at a simulated instant (step-interpolated)."""
+        return self.outputs.value_at(time)
+
+    def memory_at(self, machine: str, time: float) -> float:
+        return self.deployment.memory_series(machine).value_at(time)
+
+
+def run_experiment(
+    label: str,
+    workload: WorkloadSpec,
+    *,
+    strategy: StrategyName | str = StrategyName.LAZY_DISK,
+    workers=1,
+    assignment=None,
+    duration: float = 1800.0,
+    sample_interval: float = 120.0,
+    memory_threshold: int = 3_000_000,
+    batch_size: int = 50,
+    config_overrides: dict | None = None,
+    cost: CostModel | None = None,
+    with_cleanup: bool = False,
+    join=None,
+    seed: int = 11,
+) -> RunResult:
+    """Build, run, and optionally clean up one configuration.
+
+    This is the single entry point every benchmark uses, so all paper
+    experiments share identical wiring and differ only in their declared
+    parameters.
+    """
+    overrides = dict(
+        memory_threshold=memory_threshold,
+        ss_interval=5.0,
+        stats_interval=5.0,
+        coordinator_interval=10.0,
+    )
+    if config_overrides:
+        overrides.update(config_overrides)
+    config = AdaptationConfig(strategy=StrategyName(strategy), **overrides)
+    deployment = Deployment(
+        join=join if join is not None else three_way_join(),
+        workload=workload,
+        workers=workers,
+        config=config,
+        cost=cost,
+        assignment=assignment,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    deployment.run(duration=duration, sample_interval=sample_interval)
+    result = RunResult(label=label, deployment=deployment)
+    if with_cleanup:
+        result.cleanup = deployment.cleanup()
+    return result
+
+
+def sample_times(duration: float, sample_interval: float) -> list[float]:
+    """The instants a run of the given dimensions was sampled at."""
+    times = []
+    t = 0.0
+    while t < duration:
+        t = min(t + sample_interval, duration)
+        times.append(t)
+    return times

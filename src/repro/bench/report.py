@@ -1,0 +1,105 @@
+"""ASCII report formatting for benchmark output.
+
+The paper reports its results as time-series plots (cumulative output
+tuples / memory usage over execution time).  These helpers render the same
+series as fixed-width tables — one row per sample instant, one column per
+configuration — which is what each benchmark prints and what
+EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.cluster.metrics import TimeSeries
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render a fixed-width table with a header separator."""
+    rows = [list(map(str, row)) for row in rows]
+    headers = list(map(str, headers))
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def series_table(
+    columns: Mapping[str, TimeSeries],
+    times: Sequence[float],
+    *,
+    time_unit: str = "min",
+    value_fmt: Callable[[float], str] = lambda v: f"{v:,.0f}",
+) -> str:
+    """One row per instant, one column per labelled series.
+
+    Times are displayed in minutes by default (matching the paper's
+    x-axes); series are step-interpolated at each instant.
+    """
+    divisor = 60.0 if time_unit == "min" else 1.0
+    headers = [f"time({time_unit})", *columns.keys()]
+    rows = []
+    for t in times:
+        row = [f"{t / divisor:.1f}"]
+        for series in columns.values():
+            try:
+                row.append(value_fmt(series.value_at(t)))
+            except (ValueError, IndexError):
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def rate_table(
+    columns: Mapping[str, TimeSeries],
+    times: Sequence[float],
+    *,
+    value_fmt: Callable[[float], str] = lambda v: f"{v:,.1f}",
+) -> str:
+    """Windowed output *rates* (tuples/second between consecutive samples) —
+    the derivative view of the paper's throughput curves."""
+    headers = ["window(min)", *columns.keys()]
+    rows = []
+    for t0, t1 in zip(times, times[1:]):
+        row = [f"{t0 / 60:.1f}-{t1 / 60:.1f}"]
+        for series in columns.values():
+            try:
+                row.append(value_fmt(series.rate_between(t0, t1)))
+            except (ValueError, IndexError):
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def series_csv(
+    columns: Mapping[str, TimeSeries],
+    times: Sequence[float],
+) -> str:
+    """The same data as :func:`series_table`, as CSV (for external plotting).
+
+    The first column is the sample time in seconds; missing values are
+    empty cells.
+    """
+    lines = ["time_s," + ",".join(columns.keys())]
+    for t in times:
+        cells = [f"{t:g}"]
+        for series in columns.values():
+            try:
+                cells.append(f"{series.value_at(t):g}")
+            except (ValueError, IndexError):
+                cells.append("")
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def kv_block(title: str, pairs: Mapping[str, object]) -> str:
+    """A titled key/value block for scalar results (cleanup stats etc.)."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title, "-" * len(title)]
+    lines.extend(f"{k.ljust(width)}  {v}" for k, v in pairs.items())
+    return "\n".join(lines)

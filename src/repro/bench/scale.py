@@ -1,0 +1,101 @@
+"""Benchmark scaling: mapping the paper's testbed to simulation defaults.
+
+The paper's experiments run for about an hour on dual-Xeon machines with
+2 GB RAM, spilling at 200 MB, with 30 ms per-stream inter-arrival and a
+30 K tuple range.  Reproducing the hour at full byte scale is pointless in
+a simulator (the shapes are scale-invariant), so every benchmark reads its
+dimensions from one :class:`BenchScale`:
+
+====================  ============== ===============================
+quantity              paper          ``default`` scale here
+====================  ============== ===============================
+run length            ~60 min        30 simulated minutes
+memory threshold      200 MB         3 MB (same # of spills/run)
+Fig-13 threshold      60 MB          0.9 MB (60/200 of the above)
+inter-arrival         30 ms          30 ms (unchanged)
+tuple range           30 K           30 K (unchanged)
+partitions            e.g. 500/10    60 per experiment
+====================  ============== ===============================
+
+``REPRO_BENCH_SCALE=quick`` halves run lengths for smoke-testing;
+``=full`` runs the paper's full hour.  Every report header prints the
+active scale so numbers are always interpretable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One consistent scaling of every benchmark's dimensions."""
+
+    name: str
+    #: run-time-phase length in simulated seconds
+    duration: float
+    #: metric sampling interval in simulated seconds
+    sample_interval: float
+    #: the 200 MB spill threshold, scaled
+    memory_threshold: int
+    #: per-stream tuple inter-arrival (paper value kept)
+    interarrival: float = 0.030
+    #: the paper's tuple range k
+    tuple_range: int = 30_000
+    #: hash partitions per experiment
+    n_partitions: int = 60
+    #: source batching granularity (simulation detail, not a paper knob)
+    batch_size: int = 50
+
+    @property
+    def minutes(self) -> float:
+        return self.duration / 60.0
+
+    def threshold_fraction(self, fraction: float) -> int:
+        """A threshold stated in the paper as a fraction of 200 MB —
+        e.g. Figure 13's 60 MB -> ``threshold_fraction(60/200)``."""
+        return int(self.memory_threshold * fraction)
+
+    def describe(self) -> str:
+        return (
+            f"scale={self.name}: {self.minutes:.0f} simulated minutes, "
+            f"spill threshold {self.memory_threshold / 1e6:.1f} MB "
+            f"(paper: ~60 min, 200 MB), interarrival {self.interarrival * 1e3:.0f} ms, "
+            f"tuple range {self.tuple_range}, {self.n_partitions} partitions"
+        )
+
+
+SCALES: dict[str, BenchScale] = {
+    "quick": BenchScale(
+        name="quick",
+        duration=600.0,
+        sample_interval=60.0,
+        memory_threshold=1_200_000,
+    ),
+    "default": BenchScale(
+        name="default",
+        duration=1800.0,
+        sample_interval=120.0,
+        memory_threshold=3_000_000,
+    ),
+    "full": BenchScale(
+        name="full",
+        duration=3600.0,
+        sample_interval=180.0,
+        memory_threshold=6_000_000,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The active scale, selected by ``REPRO_BENCH_SCALE`` (default
+    ``default``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    try:
+        return SCALES[name]
+    except KeyError:
+        valid = ", ".join(sorted(SCALES))
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE {name!r}; pick one of: {valid}"
+        ) from None

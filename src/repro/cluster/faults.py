@@ -1,0 +1,130 @@
+"""Fault and perturbation injection for robustness experiments.
+
+The paper's motivation is run-time *variability* — "little statistics about
+input streams at query definition time (requires adaptation at run time)".
+This module injects the variability the adaptive machinery must survive:
+
+* :class:`CpuSlowdown` — degrade (or restore) a machine's effective CPU
+  speed at a chosen instant, modelling co-located work or thermal
+  throttling.  Queued and future tasks take proportionally longer.
+* :class:`NetworkDegradation` — change the fabric's bandwidth/latency at a
+  chosen instant (a congested or flapping switch); in-flight transfers are
+  unaffected, subsequent ones see the new link characteristics.
+* :class:`FaultSchedule` — a declarative list of timed faults armed onto a
+  simulator.
+
+Faults never violate the correctness contract (the exactly-once tests run
+under fault schedules); they only move *when* work happens — which is
+precisely what makes them useful for probing the adaptation policies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cluster.machine import Machine
+from repro.cluster.network import Network
+from repro.cluster.simulation import Simulator
+
+
+class Fault(ABC):
+    """One timed perturbation."""
+
+    time: float
+
+    @abstractmethod
+    def apply(self) -> None:
+        """Execute the perturbation (called by the simulator at ``time``)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable description for logs."""
+
+
+@dataclass
+class CpuSlowdown(Fault):
+    """Scale a machine's CPU speed by ``factor`` at ``time``.
+
+    ``factor`` < 1 slows the machine (0.5 = half speed); ``factor`` > 1
+    models recovery or a burst of spare capacity.  The change applies to
+    tasks dispatched after the instant; the task in service finishes at its
+    original completion time (a modelling simplification on the safe side —
+    at most one task's timing is stale).
+    """
+
+    time: float
+    machine: Machine
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+
+    def apply(self) -> None:
+        self.machine.cpu_speed *= self.factor
+
+    def describe(self) -> str:
+        return (f"t={self.time:.0f}s: cpu of {self.machine.name!r} "
+                f"x{self.factor:g}")
+
+
+@dataclass
+class NetworkDegradation(Fault):
+    """Replace the fabric's bandwidth and/or latency at ``time``."""
+
+    time: float
+    network: Network
+    bandwidth: float | None = None
+    latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency is not None and self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth is None and self.latency is None:
+            raise ValueError("degradation must change something")
+
+    def apply(self) -> None:
+        if self.bandwidth is not None:
+            self.network.bandwidth = self.bandwidth
+        if self.latency is not None:
+            self.network.latency = self.latency
+
+    def describe(self) -> str:
+        parts = []
+        if self.bandwidth is not None:
+            parts.append(f"bw={self.bandwidth:g}B/s")
+        if self.latency is not None:
+            parts.append(f"lat={self.latency:g}s")
+        return f"t={self.time:.0f}s: network {' '.join(parts)}"
+
+
+class FaultSchedule:
+    """A declarative, armable list of timed faults.
+
+    >>> schedule = FaultSchedule([CpuSlowdown(60.0, machine, 0.5)])
+    >>> schedule.arm(sim)   # doctest: +SKIP
+    """
+
+    def __init__(self, faults: Sequence[Fault]) -> None:
+        self.faults = sorted(faults, key=lambda f: f.time)
+        self.applied: list[str] = []
+        self._armed = False
+
+    def arm(self, sim: Simulator) -> None:
+        """Schedule every fault onto ``sim`` (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for fault in self.faults:
+            sim.schedule_at(fault.time, self._fire, fault)
+
+    def _fire(self, fault: Fault) -> None:
+        fault.apply()
+        self.applied.append(fault.describe())
+
+    def __len__(self) -> int:
+        return len(self.faults)

@@ -1,0 +1,261 @@
+"""Machine model: a FIFO CPU server plus byte-accurate memory accounting.
+
+Each cluster node in the paper runs one query engine.  The model here
+captures the two resources the paper's adaptations manage:
+
+* **CPU** — the machine executes :class:`Task` objects strictly FIFO within
+  a priority class.  Data processing (probing a join, routing a tuple) and
+  adaptation work (serialising state to disk, packing state for the network)
+  all occupy the CPU for their configured service time, so an expensive
+  spill genuinely delays tuple processing — this is what produces the
+  throughput dips visible in the paper's Figures 5 and 13.
+* **Memory** — operator state is charged against :attr:`memory_capacity`
+  via :meth:`allocate` / :meth:`release`.  The paper's ``ss_timer`` check
+  (``QE_memory > threshold``) reads :attr:`memory_used`.
+
+Control-plane tasks (adaptation protocol steps) run at
+:data:`PRIORITY_CONTROL` and overtake queued data tuples, mirroring the real
+engine where the adaptation controller preempts the processing loop.
+
+Task execution model
+--------------------
+Because the machine is a *serial* server, a task's state mutations are
+performed when the task **starts service** (``begin``), and its observable
+outputs are released when it **completes** (``finish``), after the service
+time its own execution determined.  Splitting begin/finish lets join work
+charge a per-result CPU cost that is only known once the probe has run,
+while still delaying the downstream emission by that cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.cluster.simulation import Simulator
+
+PRIORITY_CONTROL = 0
+PRIORITY_DATA = 1
+
+#: A task's begin() returns (service_time, finish_callback_or_None).
+BeginResult = tuple[float, Callable[[], None] | None]
+
+
+class MemoryOverflowError(RuntimeError):
+    """Raised when an allocation exceeds a machine's physical capacity.
+
+    In the paper this is the "system crash due to memory overflow" that the
+    adaptations exist to prevent (cf. Figure 6 discussion).  Experiments run
+    with ``hard_memory_limit`` enabled treat reaching physical capacity as a
+    fatal error rather than silently swapping.
+    """
+
+    def __init__(self, machine: "Machine", requested: int) -> None:
+        super().__init__(
+            f"machine {machine.name!r} out of memory: "
+            f"{machine.memory_used}B used + {requested}B requested "
+            f"> {machine.memory_capacity}B capacity"
+        )
+        self.machine = machine
+        self.requested = requested
+
+
+class Task:
+    """A fixed-cost unit of CPU work.
+
+    ``action`` runs when the task starts service; the machine then stays
+    busy for ``service_time`` seconds.  For work whose cost depends on its
+    own outcome, use :class:`DynamicTask`.
+    """
+
+    __slots__ = ("service_time", "action", "priority", "label")
+
+    def __init__(
+        self,
+        service_time: float,
+        action: Callable[[], None] | None = None,
+        *,
+        priority: int = PRIORITY_DATA,
+        label: str = "",
+    ) -> None:
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time!r}")
+        self.service_time = service_time
+        self.action = action
+        self.priority = priority
+        self.label = label
+
+    def begin(self) -> BeginResult:
+        if self.action is not None:
+            self.action()
+        return self.service_time, None
+
+
+class DynamicTask:
+    """A unit of CPU work that determines its own service time.
+
+    ``begin_fn`` executes when the task starts service (performing any state
+    mutation) and returns ``(service_time, finish)``.  ``finish`` — if not
+    ``None`` — runs when the service time has elapsed; it is where outputs
+    are handed downstream.
+    """
+
+    __slots__ = ("begin_fn", "priority", "label")
+
+    def __init__(
+        self,
+        begin_fn: Callable[[], BeginResult],
+        *,
+        priority: int = PRIORITY_DATA,
+        label: str = "",
+    ) -> None:
+        self.begin_fn = begin_fn
+        self.priority = priority
+        self.label = label
+
+    def begin(self) -> BeginResult:
+        return self.begin_fn()
+
+
+class Machine:
+    """One cluster node: FIFO CPU server + memory account.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Unique human-readable identifier (``"m1"``, ``"coordinator"``, ...).
+    memory_capacity:
+        Physical memory in bytes.  ``None`` models an effectively unbounded
+        machine (used by the paper's *All-Mem* baseline).
+    cpu_speed:
+        Scaling factor applied to every task's service time; ``2.0`` halves
+        all service times.  The paper's cluster is homogeneous (``1.0``);
+        heterogeneity is exercised by the ablation benches.
+    hard_memory_limit:
+        If true, :meth:`allocate` raises :class:`MemoryOverflowError` once
+        physical capacity would be exceeded.  Experiments normally leave
+        this off so that *failure to adapt* shows up as unbounded growth in
+        the recorded memory series (how the paper plots no-adaptation
+        curves) rather than as an exception.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        memory_capacity: int | None = None,
+        cpu_speed: float = 1.0,
+        hard_memory_limit: bool = False,
+    ) -> None:
+        if cpu_speed <= 0:
+            raise ValueError(f"cpu_speed must be positive, got {cpu_speed!r}")
+        self.sim = sim
+        self.name = name
+        self.memory_capacity = memory_capacity
+        self.cpu_speed = cpu_speed
+        self.hard_memory_limit = hard_memory_limit
+        self.memory_used = 0
+        self.memory_high_water = 0
+        self._queues: tuple[deque, deque] = (deque(), deque())
+        self._busy = False
+        self.busy_time = 0.0
+        self.tasks_completed = 0
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int) -> None:
+        """Charge ``nbytes`` of operator state against this machine."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation {nbytes!r}")
+        if (
+            self.hard_memory_limit
+            and self.memory_capacity is not None
+            and self.memory_used + nbytes > self.memory_capacity
+        ):
+            raise MemoryOverflowError(self, nbytes)
+        self.memory_used += nbytes
+        if self.memory_used > self.memory_high_water:
+            self.memory_high_water = self.memory_used
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` of state to the free pool."""
+        if nbytes < 0:
+            raise ValueError(f"negative release {nbytes!r}")
+        if nbytes > self.memory_used:
+            raise ValueError(
+                f"machine {self.name!r}: releasing {nbytes}B but only "
+                f"{self.memory_used}B allocated"
+            )
+        self.memory_used -= nbytes
+
+    @property
+    def memory_headroom(self) -> int | None:
+        """Bytes left before physical capacity, or ``None`` if unbounded."""
+        if self.memory_capacity is None:
+            return None
+        return self.memory_capacity - self.memory_used
+
+    # ------------------------------------------------------------------
+    # CPU service
+    # ------------------------------------------------------------------
+    def submit(self, task: Task | DynamicTask) -> None:
+        """Enqueue a task; it runs FIFO within its priority class, with
+        control tasks overtaking queued data tasks."""
+        self._queues[task.priority].append(task)
+        if not self._busy:
+            self._dispatch()
+
+    def submit_work(
+        self,
+        service_time: float,
+        action: Callable[[], None] | None = None,
+        *,
+        priority: int = PRIORITY_DATA,
+        label: str = "",
+    ) -> None:
+        """Convenience wrapper: build and submit a fixed-cost :class:`Task`."""
+        self.submit(Task(service_time, action, priority=priority, label=label))
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of tasks waiting (not counting the one in service)."""
+        return len(self._queues[0]) + len(self._queues[1])
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this CPU spent in service."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def _dispatch(self) -> None:
+        for queue in self._queues:
+            if queue:
+                task = queue.popleft()
+                break
+        else:
+            return
+        self._busy = True
+        service_time, finish = task.begin()
+        duration = service_time / self.cpu_speed
+        self.busy_time += duration
+        self.sim.schedule(duration, self._complete, finish)
+
+    def _complete(self, finish: Callable[[], None] | None) -> None:
+        self._busy = False
+        self.tasks_completed += 1
+        if finish is not None:
+            finish()
+        if not self._busy:  # finish() may have submitted + dispatched already
+            self._dispatch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.memory_capacity is None else str(self.memory_capacity)
+        return f"Machine({self.name!r}, mem={self.memory_used}/{cap}B, queue={self.queue_depth})"

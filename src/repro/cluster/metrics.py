@@ -1,0 +1,155 @@
+"""Time-series recorders and adaptation-event logs.
+
+Every figure in the paper is a time series — cumulative output tuples
+(throughput, Figures 5/7/9/11-14) or per-machine memory usage (Figures
+6/10).  :class:`MetricsHub` is the single collection point the harness
+samples on a fixed interval and the adaptation machinery appends discrete
+events to (each "zag" in Figure 6 is one :class:`AdaptationEvent`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One (time, value) observation."""
+
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """Append-only series of :class:`Sample` observations.
+
+    Samples must be appended in nondecreasing time order (the simulator
+    clock guarantees this for the harness).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: sample at {time!r} precedes last "
+                f"sample at {self._times[-1]!r}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return (Sample(t, v) for t, v in zip(self._times, self._values))
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        return tuple(self._values)
+
+    def last(self) -> Sample:
+        if not self._times:
+            raise IndexError(f"series {self.name!r} is empty")
+        return Sample(self._times[-1], self._values[-1])
+
+    def value_at(self, time: float) -> float:
+        """Step-interpolated value at ``time`` (last sample at or before it)."""
+        if not self._times:
+            raise IndexError(f"series {self.name!r} is empty")
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"series {self.name!r} has no sample at or before {time!r}")
+        return self._values[idx]
+
+    def max(self) -> float:
+        return max(self._values)
+
+    def mean(self) -> float:
+        return sum(self._values) / len(self._values)
+
+    def rate_between(self, t0: float, t1: float) -> float:
+        """Average growth rate (Δvalue/Δtime) between two instants.
+
+        For a cumulative-output series this is exactly the paper's notion
+        of throughput over a window.
+        """
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got {t0!r}..{t1!r}")
+        return (self.value_at(t1) - self.value_at(t0)) / (t1 - t0)
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One discrete adaptation occurrence (a spill or a relocation step).
+
+    ``kind`` is one of ``"spill"``, ``"forced_spill"``, ``"relocation"``,
+    ``"cleanup"``.  ``details`` carries kind-specific fields such as
+    ``bytes``, ``partition_ids``, ``sender``, ``receiver``.
+    """
+
+    time: float
+    kind: str
+    machine: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only log of :class:`AdaptationEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[AdaptationEvent] = []
+
+    def record(self, time: float, kind: str, machine: str, **details: Any) -> AdaptationEvent:
+        event = AdaptationEvent(time=time, kind=kind, machine=machine, details=details)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AdaptationEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: str) -> list[AdaptationEvent]:
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+
+class MetricsHub:
+    """Named-series registry plus the shared adaptation event log."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TimeSeries] = {}
+        self.events = EventLog()
+        self.counters: dict[str, float] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Get (creating on first use) the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    def series_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._series))
+
+    def sample(self, time: float, name: str, value: float) -> None:
+        self.series(name).append(time, value)
+
+    def bump(self, counter: str, amount: float = 1.0) -> None:
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount

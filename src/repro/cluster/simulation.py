@@ -1,0 +1,236 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every component of the reproduced system — stream sources, query engines,
+the global coordinator, disks and the network — advances time exclusively
+through this kernel.  The kernel is a classic calendar queue built on
+:mod:`heapq`:
+
+* :class:`Simulator` owns the clock and the pending-event heap.
+* :class:`Event` is a cancellable handle to a scheduled callback.
+* :class:`Timer` is a recurring event helper used for the paper's
+  ``ss_timer`` / ``sr_timer`` / ``lb_timer`` control loops (Tables 1-2 of
+  the paper).
+
+Determinism guarantees
+----------------------
+Events scheduled for the same instant fire in schedule order (a monotonically
+increasing sequence number breaks ties), so a run is a pure function of the
+configuration and the RNG seed.  This is what lets the benchmark harness
+reproduce the paper's figures exactly across machines and runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used inconsistently (e.g. time travel)."""
+
+
+class Event:
+    """A cancellable handle to one scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code only ever needs
+    :meth:`cancel` and the :attr:`time` attribute.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.
+
+        Cancelling an already-fired or already-cancelled event is a no-op,
+        which makes shutdown paths simple to write.
+        """
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "b")
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> sim.run()
+    >>> fired
+    ['a', 'b']
+    >>> sim.now
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time!r}; clock is at {self.now!r}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the heap drains, the clock passes ``until``, or
+        ``max_events`` events have fired (whichever comes first).
+
+        When stopped by ``until``, the clock is advanced exactly to ``until``
+        and any event scheduled strictly later stays pending, so a subsequent
+        ``run`` call continues seamlessly — the harness uses this to take
+        periodic metric samples.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    return
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = nxt.time
+                self._events_processed += 1
+                nxt.callback(*nxt.args)
+                fired += 1
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still on the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired since construction."""
+        return self._events_processed
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Timer:
+    """Recurring timer built on top of :class:`Simulator`.
+
+    Models the paper's control-loop timers (``ss_timer``, ``sr_timer``,
+    ``lb_timer``): the callback fires every ``interval`` seconds until
+    :meth:`stop` is called.  The callback may call :meth:`reset` to restart
+    the period from "now" (mirroring the explicit ``timer.reset()`` in the
+    paper's Algorithms 1 and 2).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: bool = True,
+        first_delay: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval!r}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._event: Event | None = None
+        self._stopped = True
+        if start:
+            self.start(first_delay=first_delay)
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self, first_delay: float | None = None) -> None:
+        """(Re)arm the timer; the first firing happens after ``first_delay``
+        (defaults to one full ``interval``)."""
+        self.stop()
+        self._stopped = False
+        delay = self.interval if first_delay is None else first_delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Cancel the pending firing and stop recurring."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reset(self) -> None:
+        """Restart the current period from the present instant."""
+        if not self._stopped:
+            self.start()
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        # Re-arm before invoking the callback so that a callback calling
+        # reset()/stop() sees a consistent pending state.
+        self._event = self._sim.schedule(self.interval, self._fire)
+        self._callback()

@@ -1,0 +1,309 @@
+"""Global coordinator (GC): the cluster-level adaptation agent.
+
+The GC (paper §2, Figure 4) monitors light-weight statistics from every
+query engine and makes the *coarse-grained* adaptation decisions:
+
+* **relocation** (all integrated strategies): when the reported state
+  volumes satisfy ``M_least / M_max < θ_r`` — and at least ``τ_m`` seconds
+  have passed since the previous relocation — move ``(M_max − M_least)/2``
+  bytes from the fullest machine (*sender*) to the emptiest (*receiver*),
+  running the 8-step protocol of :mod:`repro.core.relocation`;
+* **forced spill** (active-disk only, Algorithm 2): when memory is balanced
+  but the machines' average productivity rates ``R`` differ by more than
+  ``λ``, order the least productive machine to spill, within the cumulative
+  cap that guarantees data fitting in cluster memory stays there.
+
+The GC never sees per-partition statistics — choosing concrete partition
+groups is the sender's local controller's job — which is what keeps it
+scalable (paper §4: "the global coordinator only requires to collect very
+light-weight running statistics").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.metrics import MetricsHub
+from repro.cluster.network import Message, Network
+from repro.cluster.simulation import Simulator, Timer
+from repro.core.config import AdaptationConfig, CostModel
+from repro.core.productivity import machine_productivity_rate
+from repro.core.relocation import (
+    CptvRequest,
+    ForcedSpillDone,
+    ForcedSpillRequest,
+    InstalledAck,
+    PartsList,
+    PauseAck,
+    PauseRequest,
+    RelocationSession,
+    RemapRequest,
+    ResumeAck,
+    StatsReport,
+    TransferRequest,
+)
+
+GC_NAME = "gc"
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters summarising the GC's activity over a run."""
+
+    relocations_completed: int = 0
+    relocations_aborted: int = 0
+    protocol_ignored: int = 0
+    forced_spills: int = 0
+    forced_spill_bytes: int = 0
+    evaluations: int = 0
+
+
+class GlobalCoordinator:
+    """The coordinator process.
+
+    Parameters
+    ----------
+    sim / network / metrics:
+        Shared substrate objects.
+    config:
+        Adaptation tunables (strategy, θ_r, τ_m, λ, caps, timers).
+    workers:
+        Names of the query-engine machines under management.
+    split_hosts:
+        Names of the machines hosting split operators (targets of the
+        pause/remap protocol steps).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        metrics: MetricsHub,
+        config: AdaptationConfig,
+        cost: CostModel,
+        workers: list[str],
+        split_hosts: list[str],
+        *,
+        name: str = GC_NAME,
+    ) -> None:
+        if len(set(workers)) != len(workers):
+            raise ValueError(f"duplicate worker names {workers!r}")
+        self.sim = sim
+        self.network = network
+        self.metrics = metrics
+        self.config = config
+        self.cost = cost
+        self.workers = list(workers)
+        self.split_hosts = list(split_hosts)
+        self.name = name
+        self.latest: dict[str, StatsReport] = {}
+        self.session: RelocationSession | None = None
+        self.last_relocation_time = -float("inf")
+        self.stats = CoordinatorStats()
+        self._timer: Timer | None = None
+        network.register(name, self.deliver)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the evaluation timer (``sr_timer``/``lb_timer`` at the GC)."""
+        self._timer = Timer(self.sim, self.config.coordinator_interval, self.evaluate)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            raise ValueError(f"coordinator cannot handle message kind {message.kind!r}")
+        handler(message)
+
+    def _on_stats(self, message: Message) -> None:
+        report: StatsReport = message.payload
+        self.latest[report.machine] = report
+
+    # ------------------------------------------------------------------
+    # Periodic evaluation (Algorithms 1-2, "events at GC")
+    # ------------------------------------------------------------------
+    def evaluate(self) -> None:
+        """``process_stats(); calculate_cluster_load(); ...`` — one pass of
+        the GC decision loop."""
+        self.stats.evaluations += 1
+        if self.session is not None and not self.session.terminal:
+            return
+        reports = [self.latest.get(w) for w in self.workers]
+        known = [r for r in reports if r is not None]
+        if len(known) < 2:
+            return
+        if self.config.relocation_enabled and self._try_relocation(known):
+            return
+        if self.config.forced_spill_enabled:
+            self._try_forced_spill(known)
+
+    def _try_relocation(self, reports: list[StatsReport]) -> bool:
+        max_report = max(reports, key=lambda r: (r.state_bytes, r.machine))
+        min_report = min(reports, key=lambda r: (r.state_bytes, r.machine))
+        max_load = max_report.state_bytes
+        min_load = min_report.state_bytes
+        if max_load <= 0 or max_report.machine == min_report.machine:
+            return False
+        if min_load / max_load >= self.config.theta_r:
+            return False
+        if self.sim.now - self.last_relocation_time < self.config.tau_m:
+            return False
+        amount = (max_load - min_load) // 2
+        if amount < self.config.min_relocation_bytes:
+            return False
+        self.session = RelocationSession(
+            sender=max_report.machine,
+            receiver=min_report.machine,
+            amount=amount,
+            split_hosts=tuple(self.split_hosts),
+            started_at=self.sim.now,
+        )
+        self._send(max_report.machine, "cptv", CptvRequest(amount=amount))
+        return True
+
+    def _try_forced_spill(self, reports: list[StatsReport]) -> None:
+        if self.stats.forced_spill_bytes >= self.config.forced_spill_cap:
+            return
+        pressure_floor = self.config.forced_spill_pressure * self.config.memory_threshold
+        if not any(r.state_bytes >= pressure_floor for r in reports):
+            return  # "only if extra memory is needed" (§5.4)
+        rated = [
+            (machine_productivity_rate(r.outputs_delta, r.group_count), r)
+            for r in reports
+            if r.group_count > 0
+        ]
+        if len(rated) < 2:
+            return
+        max_rate, _ = max(rated, key=lambda x: x[0])
+        min_rate, min_report = min(rated, key=lambda x: x[0])
+        if min_rate <= 0:
+            ratio = float("inf") if max_rate > 0 else 0.0
+        else:
+            ratio = max_rate / min_rate
+        if ratio <= self.config.lambda_productivity:
+            return
+        remaining_cap = self.config.forced_spill_cap - self.stats.forced_spill_bytes
+        amount = min(
+            int(min_report.state_bytes * self.config.forced_spill_fraction),
+            remaining_cap,
+        )
+        if amount <= 0:
+            return
+        self.stats.forced_spills += 1
+        self._send(min_report.machine, "start_ss", ForcedSpillRequest(amount=amount))
+
+    # ------------------------------------------------------------------
+    # Relocation protocol steps (GC side)
+    # ------------------------------------------------------------------
+    def _on_ptv(self, message: Message) -> None:
+        parts: PartsList = message.payload
+        session = self._session_in_phase("cptv_sent")
+        if session is None:
+            return
+        if not parts.partition_ids:
+            session.advance("aborted")
+            self.stats.relocations_aborted += 1
+            self.session = None
+            return
+        session.partition_ids = parts.partition_ids
+        session.state_bytes = parts.total_bytes
+        session.advance("pausing")
+        session.pending_pause_acks = set(session.split_hosts)
+        for host in session.split_hosts:
+            self._send(
+                host,
+                "pause",
+                PauseRequest(partition_ids=parts.partition_ids, sender=session.sender),
+            )
+
+    def _on_paused(self, message: Message) -> None:
+        ack: PauseAck = message.payload
+        session = self._session_in_phase("pausing")
+        if session is None:
+            return
+        session.pending_pause_acks.discard(ack.host)
+        if session.pending_pause_acks:
+            return
+        session.advance("transferring")
+        self._send(
+            session.sender,
+            "transfer",
+            TransferRequest(
+                partition_ids=session.partition_ids,
+                receiver=session.receiver,
+                marker_hosts=session.split_hosts,
+            ),
+        )
+
+    def _on_installed(self, message: Message) -> None:
+        ack: InstalledAck = message.payload
+        session = self._session_in_phase("transferring")
+        if session is None:
+            return
+        session.state_bytes = ack.total_bytes
+        session.advance("remapping")
+        session.pending_resume_acks = set(session.split_hosts)
+        for host in session.split_hosts:
+            self._send(
+                host,
+                "remap",
+                RemapRequest(
+                    partition_ids=session.partition_ids, new_owner=session.receiver
+                ),
+            )
+
+    def _on_resumed(self, message: Message) -> None:
+        ack: ResumeAck = message.payload
+        session = self._session_in_phase("remapping")
+        if session is None:
+            return
+        session.pending_resume_acks.discard(ack.host)
+        if session.pending_resume_acks:
+            return
+        session.advance("done")
+        session.completed_at = self.sim.now
+        self.last_relocation_time = self.sim.now
+        self.stats.relocations_completed += 1
+        self.metrics.events.record(
+            self.sim.now,
+            "relocation",
+            session.sender,
+            receiver=session.receiver,
+            bytes=session.state_bytes,
+            partition_ids=session.partition_ids,
+            duration=session.duration,
+        )
+        self.session = None
+
+    def _on_ss_done(self, message: Message) -> None:
+        done: ForcedSpillDone = message.payload
+        self.stats.forced_spill_bytes += done.bytes_spilled
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _session_in_phase(self, expected_phase: str) -> RelocationSession | None:
+        """The active session if it is in ``expected_phase``, else ``None``.
+
+        A distributed coordinator must tolerate unsolicited or stale
+        protocol messages (a QE answering after its session aborted, a
+        duplicate ack): they are counted and dropped, never fatal.
+        """
+        if self.session is None or self.session.phase != expected_phase:
+            self.stats.protocol_ignored += 1
+            return None
+        return self.session
+
+    def _send(self, dst: str, kind: str, payload) -> None:
+        self.network.send(
+            self.name, dst, kind, payload, self.cost.control_message_bytes
+        )

@@ -1,0 +1,208 @@
+"""State-relocation protocol: typed messages and the 8-step session.
+
+The paper coordinates run-time state movement with a protocol between the
+global coordinator (GC) and the involved query engines (QEs) so that "no
+operator states should be missing or corrupted" (§4.1, Figure 8).  The
+concrete 8 steps implemented here:
+
+1. **GC → sender** ``cptv`` — compute partitions to move (the coarse-grained
+   decision: *how much*; the sender's local controller decides *which*).
+2. **sender → GC** ``ptv`` — the chosen partition IDs and their volume.
+3. **GC → split hosts** ``pause`` — buffer arriving tuples of those IDs.
+4. **split hosts → GC** ``paused`` — all acks collected.
+5. **GC → sender** ``transfer`` — ship the state to the receiver.
+6. **sender → receiver** ``state`` (bulk transfer); **receiver → GC**
+   ``installed`` once the groups are thawed into its store.
+7. **GC → split hosts** ``remap`` — update routing tables to the receiver
+   and flush the buffered tuples to it.
+8. **split hosts → GC** ``resumed`` — session complete; the GC stamps
+   ``last_relocation_time`` (enforcing the paper's ``τ_m`` spacing).
+
+Safety argument: tuples of the affected partitions are buffered from step 3
+until step 7, so no tuple can probe a half-moved state; unaffected
+partitions flow throughout — relocation is not a global stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.partitions import FrozenPartitionGroup
+
+
+# ----------------------------------------------------------------------
+# Protocol payloads (network message bodies, keyed by Message.kind)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """Periodic light-weight statistics a QE ships to the GC (``stats``).
+
+    Only aggregates travel — the paper's scalability argument for the
+    coordinator rests on never shipping per-partition detail upward.
+    """
+
+    machine: str
+    state_bytes: int
+    outputs_delta: int
+    group_count: int
+    queue_depth: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class CptvRequest:
+    """Step 1 (``cptv``): GC asks the sender to pick ~``amount`` bytes of
+    partitions to move."""
+
+    amount: int
+
+
+@dataclass(frozen=True)
+class PartsList:
+    """Step 2 (``ptv``): the sender's chosen partitions and their volume."""
+
+    sender: str
+    partition_ids: tuple[int, ...]
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class PauseRequest:
+    """Step 3 (``pause``): buffer tuples of these partitions at the splits.
+
+    ``sender`` names the machine about to give up the state: after pausing,
+    the split host pushes a :class:`Marker` down its *data* link to the
+    sender, guaranteeing (FIFO links + FIFO task queues) that every tuple
+    forwarded before the pause is processed before the state is packed.
+    """
+
+    partition_ids: tuple[int, ...]
+    sender: str
+
+
+@dataclass(frozen=True)
+class PauseAck:
+    """Step 4 (``paused``): one split host confirms buffering is active."""
+
+    host: str
+
+
+@dataclass(frozen=True)
+class Marker:
+    """FIFO drain marker a split host sends to the relocation sender on the
+    data link right after pausing (see :class:`PauseRequest`)."""
+
+    host: str
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """Step 5 (``transfer``): GC orders the sender to ship the state.
+
+    ``marker_hosts`` lists the split hosts whose :class:`Marker` must have
+    drained through the sender's data queue before packing may begin.
+    """
+
+    partition_ids: tuple[int, ...]
+    receiver: str
+    marker_hosts: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StateTransfer:
+    """Step 6 bulk payload (``state``): the frozen partition groups."""
+
+    partition_ids: tuple[int, ...]
+    groups: tuple["FrozenPartitionGroup", ...]
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class InstalledAck:
+    """Step 6 completion (``installed``): receiver thawed the groups."""
+
+    receiver: str
+    partition_ids: tuple[int, ...]
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class RemapRequest:
+    """Step 7 (``remap``): route these partitions to ``new_owner`` and
+    flush the buffered tuples."""
+
+    partition_ids: tuple[int, ...]
+    new_owner: str
+
+
+@dataclass(frozen=True)
+class ResumeAck:
+    """Step 8 (``resumed``): one split host has flushed and resumed."""
+
+    host: str
+
+
+@dataclass(frozen=True)
+class ForcedSpillRequest:
+    """Active-disk extra (``start_ss``): GC forces ~``amount`` bytes of the
+    target QE's least productive state to disk (§5.3)."""
+
+    amount: int
+
+
+@dataclass(frozen=True)
+class ForcedSpillDone:
+    """Ack for ``start_ss`` (``ss_done``): how much actually went to disk."""
+
+    machine: str
+    bytes_spilled: int
+
+
+# ----------------------------------------------------------------------
+# Session state machine (lives at the GC)
+# ----------------------------------------------------------------------
+
+#: Session phases, in protocol order.
+PHASES = ("cptv_sent", "pausing", "transferring", "remapping", "done", "aborted")
+
+
+@dataclass
+class RelocationSession:
+    """GC-side state of one in-flight pair-wise relocation.
+
+    One session exists at a time (the paper's pair-wise model); the GC
+    refuses to start another until :attr:`phase` reaches a terminal state.
+    """
+
+    sender: str
+    receiver: str
+    amount: int
+    split_hosts: tuple[str, ...]
+    started_at: float
+    phase: str = "cptv_sent"
+    partition_ids: tuple[int, ...] = ()
+    state_bytes: int = 0
+    pending_pause_acks: set[str] = field(default_factory=set)
+    pending_resume_acks: set[str] = field(default_factory=set)
+    completed_at: float | None = None
+
+    def advance(self, phase: str) -> None:
+        if phase not in PHASES:
+            raise ValueError(f"unknown relocation phase {phase!r}")
+        if PHASES.index(phase) < PHASES.index(self.phase) and phase != "aborted":
+            raise ValueError(f"cannot regress from {self.phase!r} to {phase!r}")
+        self.phase = phase
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in ("done", "aborted")
+
+    @property
+    def duration(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at

@@ -1,0 +1,116 @@
+"""Integrated adaptation strategies (paper §5) and their baselines.
+
+The strategy determines *which* adaptation machinery is armed and *who*
+decides:
+
+===================  =========== ============ ============= =================
+Strategy             local spill  relocation   forced spill  paper role
+===================  =========== ============ ============= =================
+``all_memory``       no           no           no            "All-Mem" line
+``no_relocation``    yes          no           no            Figures 11-12
+``relocation_only``  no           yes          no            Figures 9-10
+``lazy_disk``        yes          yes          no            §5.1, Alg. 1
+``active_disk``      yes          yes          yes           §5.3, Alg. 2
+===================  =========== ============ ============= =================
+
+* **Lazy-disk** postpones disk use: the coordinator relocates whenever
+  ``M_least/M_max < θ_r``; spill remains a *local* decision each engine
+  takes only when its own memory is about to overflow.
+* **Active-disk** additionally raises the spill decision to the global
+  level: when memory is balanced but the machines' average productivity
+  rates differ by more than λ, the coordinator forces the *least
+  productive* machine to spill, freeing aggregate memory for productive
+  partitions — capped so that data that fits in cluster memory stays there.
+
+The mechanics live in :mod:`repro.core.coordinator` (global half) and
+:mod:`repro.core.local_controller` (local half); this module carries the
+declarative profiles plus factory helpers the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AdaptationConfig, StrategyName
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """Declarative description of one strategy's armed mechanisms."""
+
+    name: StrategyName
+    description: str
+    local_spill: bool
+    relocation: bool
+    forced_spill: bool
+    unbounded_memory: bool
+
+
+STRATEGIES: dict[StrategyName, StrategyProfile] = {
+    StrategyName.ALL_MEMORY: StrategyProfile(
+        name=StrategyName.ALL_MEMORY,
+        description="No adaptation; memory assumed sufficient (reference).",
+        local_spill=False,
+        relocation=False,
+        forced_spill=False,
+        unbounded_memory=True,
+    ),
+    StrategyName.NO_RELOCATION: StrategyProfile(
+        name=StrategyName.NO_RELOCATION,
+        description="Local state spill only; no coordinator involvement.",
+        local_spill=True,
+        relocation=False,
+        forced_spill=False,
+        unbounded_memory=False,
+    ),
+    StrategyName.RELOCATION_ONLY: StrategyProfile(
+        name=StrategyName.RELOCATION_ONLY,
+        description="Pair-wise state relocation only; never touches disk.",
+        local_spill=False,
+        relocation=True,
+        forced_spill=False,
+        unbounded_memory=False,
+    ),
+    StrategyName.LAZY_DISK: StrategyProfile(
+        name=StrategyName.LAZY_DISK,
+        description=(
+            "Integrated: relocate first, spill locally as a last resort "
+            "(Algorithm 1)."
+        ),
+        local_spill=True,
+        relocation=True,
+        forced_spill=False,
+        unbounded_memory=False,
+    ),
+    StrategyName.ACTIVE_DISK: StrategyProfile(
+        name=StrategyName.ACTIVE_DISK,
+        description=(
+            "Integrated: relocate first, plus coordinator-forced spills of "
+            "the least productive machine's state (Algorithm 2)."
+        ),
+        local_spill=True,
+        relocation=True,
+        forced_spill=True,
+        unbounded_memory=False,
+    ),
+}
+
+
+def profile_of(config: AdaptationConfig) -> StrategyProfile:
+    """The profile matching a configuration's strategy."""
+    return STRATEGIES[config.strategy]
+
+
+def lazy_disk_config(**overrides) -> AdaptationConfig:
+    """An :class:`AdaptationConfig` preset for the lazy-disk strategy."""
+    return AdaptationConfig(strategy=StrategyName.LAZY_DISK, **overrides)
+
+
+def active_disk_config(**overrides) -> AdaptationConfig:
+    """An :class:`AdaptationConfig` preset for the active-disk strategy."""
+    return AdaptationConfig(strategy=StrategyName.ACTIVE_DISK, **overrides)
+
+
+def baseline_config(strategy: StrategyName | str, **overrides) -> AdaptationConfig:
+    """An :class:`AdaptationConfig` for any named strategy."""
+    return AdaptationConfig(strategy=StrategyName(strategy), **overrides)

@@ -1,0 +1,97 @@
+"""Application server: the dedicated result-consuming machine.
+
+The paper's testbed dedicates one machine to an *application server* that
+"processes the output results" (§3.1), with a union operator merging the
+partitioned instances' output streams (§2).  By default the simulator
+counts results at the producing engine (free, instantaneous) because none
+of the paper's figures depend on delivery cost; enabling result shipping
+(``Deployment(ship_results=True)``) routes every result batch over the
+network to this server instead, where the union attributes it to its
+producing instance before it reaches the collector.
+
+This adds the last hop of data-plane realism: output series then reflect
+*delivered* results, and the network carries the output volume — relevant
+when studying slow fabrics (ablation A3) or high-fan-out queries whose
+output dwarfs their input.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import DynamicTask, Machine
+from repro.cluster.network import Message, Network
+from repro.cluster.simulation import Simulator
+from repro.core.config import CostModel
+from repro.engine.operators.union import Union
+from repro.engine.streams import OutputCollector
+
+APP_SERVER_NAME = "app"
+
+#: accounted wire size of one shipped result reference (the engines ship
+#: identifiers/aggregates, not full payloads, matching the paper's setup
+#: where the application server is never the bottleneck)
+RESULT_WIRE_BYTES = 16
+
+
+class AppServer:
+    """Terminal machine merging all instances' result streams.
+
+    Parameters
+    ----------
+    sim / network / machine:
+        Substrate objects; the machine models the server's CPU.
+    collector:
+        The deployment's output collector (credited on delivery).
+    cost:
+        Cost model (per-result union cost = ``stateless_cost``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        machine: Machine,
+        collector: OutputCollector,
+        cost: CostModel,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.machine = machine
+        self.collector = collector
+        self.cost = cost
+        self.union = Union("union")
+        self.batches_received = 0
+        network.register(machine.name, self.deliver)
+
+    def deliver(self, message: Message) -> None:
+        if message.kind != "results":
+            raise ValueError(
+                f"app server cannot handle message kind {message.kind!r}"
+            )
+        count, results = message.payload
+        source = message.src
+        self.batches_received += 1
+
+        def begin():
+            duration = count * self.cost.stateless_cost
+
+            def finish() -> None:
+                if results:
+                    for item in results:
+                        list(self.union.process_from(source, item))
+                else:
+                    self.union.inputs_seen += count
+                    self.union.outputs_emitted += count
+                    self.union.per_source[source] = (
+                        self.union.per_source.get(source, 0) + count
+                    )
+                self.collector.add(count, results, self.sim.now,
+                                   source=source)
+
+            return duration, finish
+
+        self.machine.submit(DynamicTask(begin, label="union"))
+
+    @property
+    def per_instance_counts(self) -> dict[str, int]:
+        """Delivered results attributed to each producing machine."""
+        return dict(self.union.per_source)

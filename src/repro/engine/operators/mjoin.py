@@ -1,0 +1,220 @@
+"""Symmetric multi-way hash join — the paper's representative
+state-intensive operator.
+
+The logical operator (:class:`MJoin`) describes the join: the ordered input
+streams, the shared join domain (all join predicates on one column set, the
+paper's footnote-2 assumption) and an optional sliding time window.  Each
+machine hosts one :class:`MJoinInstance` processing a disjoint subset of
+partition groups, backed by a :class:`~repro.engine.state_store.StateStore`
+charged against that machine's memory.
+
+Semantics
+---------
+For each arriving tuple *t* of input *i* within partition group *p*:
+
+1. probe the states of every *other* input of *p* for tuples matching
+   ``t.key`` (and, if windowed, within ``window`` seconds of ``t.ts``);
+2. emit the cross product of the match lists (counted always; materialised
+   when the run collects results for correctness checking);
+3. insert *t* into input *i*'s state of *p*.
+
+Because probe precedes insert and all inputs of a partition group live on
+one machine, every result combination of co-resident tuples is produced
+exactly once at run time — the property the spill-cleanup merge relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.machine import Machine
+from repro.engine.operators.base import Operator
+from repro.engine.state_store import StateStore
+from repro.engine.tuples import JoinResult, Schema, StreamTuple
+
+
+class MJoin(Operator):
+    """Logical description of a symmetric m-way equi-join.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    schemas:
+        One :class:`~repro.engine.tuples.Schema` per input, in join order.
+    window:
+        Optional sliding-window width in seconds: tuples join only when all
+        pairwise timestamp distances are at most ``window``.  ``None`` (the
+        paper's long-running finite query setting) joins across all history.
+    """
+
+    def __init__(self, name: str, schemas: tuple[Schema, ...], *,
+                 window: float | None = None) -> None:
+        super().__init__(name)
+        if len(schemas) < 2:
+            raise ValueError("an m-way join needs at least two inputs")
+        names = [s.name for s in schemas]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate input streams {names!r}")
+        if window is not None and window <= 0:
+            raise ValueError("window must be positive (or None)")
+        self.schemas = schemas
+        self.window = window
+
+    @property
+    def stream_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.schemas)
+
+    @property
+    def arity(self) -> int:
+        return len(self.schemas)
+
+    def process(self, item: StreamTuple) -> Iterable[JoinResult]:  # pragma: no cover
+        raise NotImplementedError(
+            "MJoin is a logical descriptor; processing happens in the "
+            "partitioned MJoinInstance objects created by deployment"
+        )
+
+    def make_instance(self, machine: Machine) -> "MJoinInstance":
+        """Create the physical instance hosted on ``machine``."""
+        return MJoinInstance(self, machine)
+
+
+class MJoinInstance:
+    """One machine's physical instance of a partitioned :class:`MJoin`.
+
+    Owns the :class:`~repro.engine.state_store.StateStore` for the partition
+    groups currently mapped to its machine.  All adaptation entry points
+    (evict for spill/relocation, install for relocation) operate on this
+    store.
+    """
+
+    def __init__(self, join: MJoin, machine: Machine) -> None:
+        self.join = join
+        self.machine = machine
+        self.store = StateStore(machine, join.stream_names)
+        self.results_count = 0
+        self.tuples_in = 0
+
+    def process(
+        self, pid: int, tup: StreamTuple, *, now: float = 0.0, materialize: bool = False
+    ) -> tuple[int, list[JoinResult]]:
+        """Probe-then-insert one routed tuple (see module docstring)."""
+        self.tuples_in += 1
+        if self.join.window is None:
+            count, results = self.store.probe_insert(
+                pid, tup, now=now, materialize=materialize
+            )
+        else:
+            count, results = self._windowed_probe_insert(
+                pid, tup, now=now, materialize=materialize
+            )
+        self.results_count += count
+        return count, results
+
+    def _windowed_probe_insert(
+        self, pid: int, tup: StreamTuple, *, now: float, materialize: bool
+    ) -> tuple[int, list[JoinResult]]:
+        """Window-filtered variant of the probe-insert step.
+
+        Match lists are filtered to tuples within ``window`` seconds of the
+        probing tuple before counting/materialising.  Window filtering makes
+        the result count data-dependent in a way the plain count-product
+        shortcut cannot express, so this path walks the candidates.
+        """
+        window = self.join.window
+        assert window is not None
+        group = self.store.group(pid, now=now)
+        match_lists: list[list[StreamTuple]] = []
+        streams = group.streams
+        ok = True
+        for stream in streams:
+            if stream == tup.stream:
+                continue
+            candidates = [
+                m
+                for bucket in (group._data[stream].get(tup.key),)
+                if bucket
+                for m in bucket
+                if abs(m.ts - tup.ts) <= window
+            ]
+            if not candidates:
+                ok = False
+                break
+            match_lists.append(candidates)
+        count = 0
+        results: list[JoinResult] = []
+        if ok:
+            # the window is pairwise: every pair of joined tuples must be
+            # within ``window`` seconds, i.e. max(ts) - min(ts) <= window.
+            # Filtering against the probe alone is insufficient for m >= 3
+            # (two matches can straddle the probe), so combinations are
+            # enumerated.
+            from itertools import product
+
+            own_index = streams.index(tup.stream)
+            for combo in product(*match_lists):
+                ts_values = [t.ts for t in combo]
+                ts_values.append(tup.ts)
+                if max(ts_values) - min(ts_values) > window:
+                    continue
+                count += 1
+                if materialize:
+                    parts = list(combo)
+                    parts.insert(own_index, tup)
+                    results.append(
+                        JoinResult(key=tup.key, parts=tuple(parts), ts=tup.ts)
+                    )
+        group.insert(tup)
+        group.record_output(count)
+        self.store.machine.allocate(tup.size)
+        self.store.total_bytes += tup.size
+        self.store.outputs_total += count
+        self.store.tuples_processed += 1
+        return count, results
+
+    def purge_window(self, watermark: float) -> int:
+        """Drop tuples older than ``watermark - window`` from every group.
+
+        Only meaningful for windowed joins: expired tuples can never join
+        again, so their memory is reclaimed.  Returns the number of tuples
+        purged.  This is the state-purging alternative the paper contrasts
+        with (its own setting has no window, hence the monotonic growth that
+        motivates spill/relocation).
+        """
+        window = self.join.window
+        if window is None:
+            raise ValueError("purge_window requires a windowed join")
+        horizon = watermark - window
+        purged = 0
+        for group in list(self.store.groups()):
+            freed = 0
+            for stream in group.streams:
+                table = group._data[stream]
+                for key in list(table):
+                    bucket = table[key]
+                    keep = [t for t in bucket if t.ts >= horizon]
+                    if len(keep) != len(bucket):
+                        dropped = len(bucket) - len(keep)
+                        purged += dropped
+                        freed += sum(t.size for t in bucket if t.ts < horizon)
+                        group.tuple_count -= dropped
+                        if keep:
+                            table[key] = keep
+                        else:
+                            del table[key]
+            if freed:
+                group.size_bytes -= freed
+                self.machine.release(freed)
+                self.store.total_bytes -= freed
+        return purged
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.store.total_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MJoinInstance({self.join.name!r} @ {self.machine.name!r}, "
+            f"groups={len(self.store)}, out={self.results_count})"
+        )

@@ -1,0 +1,37 @@
+"""Selection (filter) operator."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.engine.operators.base import StatelessOperator
+from repro.engine.tuples import StreamTuple
+
+
+class Select(StatelessOperator):
+    """Keep tuples satisfying ``predicate``.
+
+    One of the small stateless operators the continuous-query literature the
+    paper cites focuses on; included for complete pipelines (e.g. filtering
+    a bank feed to one instrument type before the integration join).
+    """
+
+    def __init__(self, name: str, predicate: Callable[[StreamTuple], bool]) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+        self.dropped = 0
+
+    def process(self, item: StreamTuple) -> Iterable[StreamTuple]:
+        self.inputs_seen += 1
+        if self.predicate(item):
+            self.outputs_emitted += 1
+            return (item,)
+        self.dropped += 1
+        return ()
+
+    @property
+    def selectivity(self) -> float:
+        """Observed pass fraction so far (1.0 before any input)."""
+        if self.inputs_seen == 0:
+            return 1.0
+        return self.outputs_emitted / self.inputs_seen

@@ -1,0 +1,34 @@
+"""Union operator: merge partitioned instances' outputs into one stream."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.engine.operators.base import StatelessOperator
+
+
+class Union(StatelessOperator):
+    """Pass-through merge of the outputs of all instances of a partitioned
+    operator (paper §2: "a union operator, if needed for appropriate result
+    merging, can be inserted into the output streams").
+
+    Because the paper's applications tolerate out-of-order delivery of
+    results (footnote 1), the union performs no reordering — it only merges
+    and counts.  Per-source counters let tests check that every instance
+    contributed.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.per_source: dict[str, int] = {}
+
+    def process(self, item: Any) -> Iterable[Any]:
+        self.inputs_seen += 1
+        self.outputs_emitted += 1
+        return (item,)
+
+    def process_from(self, source: str, item: Any) -> Iterable[Any]:
+        """Merge one item while attributing it to ``source`` (a machine or
+        instance name)."""
+        self.per_source[source] = self.per_source.get(source, 0) + 1
+        return self.process(item)

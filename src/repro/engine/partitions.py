@@ -1,0 +1,253 @@
+"""Partition groups: the paper's unit of state adaptation.
+
+Section 2 of the paper argues that for a *multi-input* operator the right
+adaptation granularity is the **partition group** — all partitions sharing
+one partition ID across *all* input streams (Figure 3(b)).  Keeping the
+group together (a) keeps every probe local to one machine after relocation
+and (b) makes spill cleanup timestamp-free, because a tuple only ever joins
+against co-resident tuples of its own group instance.
+
+:class:`PartitionGroup` is the live, in-memory representation inside a join
+instance's :class:`~repro.engine.state_store.StateStore`.
+:class:`FrozenPartitionGroup` is an immutable snapshot used as the payload
+of a spill segment or a relocation transfer.
+
+The module also provides the small amount of join arithmetic shared by the
+run-time probe and the cleanup merge: per-key match counting and (optional)
+result materialisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Iterator, Mapping
+
+from repro.engine.tuples import JoinResult, StreamTuple
+
+#: Accounted per-group bookkeeping overhead in bytes (hash-table headers,
+#: statistics counters).  Charged once per live group so that even an empty
+#: group has a non-zero footprint.
+GROUP_OVERHEAD_BYTES = 128
+
+
+class PartitionGroup:
+    """Live in-memory state of one partition ID across all join inputs.
+
+    Parameters
+    ----------
+    pid:
+        Partition ID (``0 .. n_partitions-1``).
+    streams:
+        Ordered input-stream names of the owning join.
+    generation:
+        Spill generation: 0 for the first in-memory instance of this ID on
+        this machine, incremented each time the previous instance was
+        spilled and a fresh one started (paper §3: "new tuples with the same
+        partition ID may continue to accumulate to form a new partition
+        group").
+    created_at:
+        Simulation time the instance came into existence.
+    """
+
+    __slots__ = (
+        "pid",
+        "streams",
+        "generation",
+        "created_at",
+        "size_bytes",
+        "tuple_count",
+        "output_count",
+        "_data",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        streams: tuple[str, ...],
+        *,
+        generation: int = 0,
+        created_at: float = 0.0,
+    ) -> None:
+        if len(streams) < 2:
+            raise ValueError("a partition group needs at least two input streams")
+        if len(set(streams)) != len(streams):
+            raise ValueError(f"duplicate stream names in {streams!r}")
+        self.pid = pid
+        self.streams = streams
+        self.generation = generation
+        self.created_at = created_at
+        self.size_bytes = GROUP_OVERHEAD_BYTES
+        self.tuple_count = 0
+        self.output_count = 0
+        self._data: dict[str, dict[int, list[StreamTuple]]] = {s: {} for s in streams}
+
+    # ------------------------------------------------------------------
+    # State mutation
+    # ------------------------------------------------------------------
+    def insert(self, tup: StreamTuple) -> None:
+        """Add a tuple to its input's hash table within this group."""
+        try:
+            table = self._data[tup.stream]
+        except KeyError:
+            raise KeyError(
+                f"partition group {self.pid}: unknown stream {tup.stream!r} "
+                f"(expected one of {self.streams!r})"
+            ) from None
+        table.setdefault(tup.key, []).append(tup)
+        self.tuple_count += 1
+        self.size_bytes += tup.size
+
+    def probe(self, tup: StreamTuple, *, materialize: bool = False
+              ) -> tuple[int, list[JoinResult]]:
+        """Count (and optionally materialise) the matches a new tuple of
+        stream ``tup.stream`` produces against the *other* inputs' states.
+
+        This is the symmetric m-way hash-join step: the result count is the
+        product of per-input match-list lengths.  The caller inserts the
+        tuple separately (probe-then-insert), so a tuple never joins with
+        itself.
+        """
+        match_lists: list[list[StreamTuple]] = []
+        count = 1
+        for stream in self.streams:
+            if stream == tup.stream:
+                continue
+            matches = self._data[stream].get(tup.key)
+            if not matches:
+                return 0, []
+            count *= len(matches)
+            match_lists.append(matches)
+        results: list[JoinResult] = []
+        if materialize:
+            own_index = self.streams.index(tup.stream)
+            for combo in product(*match_lists):
+                parts = list(combo)
+                parts.insert(own_index, tup)
+                results.append(JoinResult(key=tup.key, parts=tuple(parts), ts=tup.ts))
+        return count, results
+
+    def record_output(self, count: int) -> None:
+        """Credit ``count`` produced results to this group's statistics."""
+        if count < 0:
+            raise ValueError(f"negative output count {count!r}")
+        self.output_count += count
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def productivity(self) -> float:
+        """The paper's partition-group productivity ``P_output / P_size``.
+
+        An empty group reports ``+inf`` so it is never chosen as a spill
+        victim (there is nothing to gain from pushing it).
+        """
+        payload = self.size_bytes - GROUP_OVERHEAD_BYTES
+        if payload <= 0:
+            return math.inf
+        return self.output_count / payload
+
+    def tuples_of(self, stream: str) -> Iterator[StreamTuple]:
+        """Iterate this group's tuples of one input stream."""
+        for bucket in self._data[stream].values():
+            yield from bucket
+
+    def keys_of(self, stream: str) -> tuple[int, ...]:
+        return tuple(self._data[stream].keys())
+
+    @property
+    def is_empty(self) -> bool:
+        return self.tuple_count == 0
+
+    # ------------------------------------------------------------------
+    # Snapshotting (spill / relocation payloads)
+    # ------------------------------------------------------------------
+    def freeze(self) -> "FrozenPartitionGroup":
+        """Produce an immutable snapshot of the current contents."""
+        data = {
+            stream: {key: tuple(bucket) for key, bucket in table.items()}
+            for stream, table in self._data.items()
+        }
+        return FrozenPartitionGroup(
+            pid=self.pid,
+            streams=self.streams,
+            generation=self.generation,
+            data=data,
+            size_bytes=self.size_bytes,
+            tuple_count=self.tuple_count,
+            output_count=self.output_count,
+        )
+
+    @classmethod
+    def thaw(cls, frozen: "FrozenPartitionGroup", *, created_at: float = 0.0
+             ) -> "PartitionGroup":
+        """Rebuild a live group from a snapshot (relocation install path)."""
+        group = cls(frozen.pid, frozen.streams, generation=frozen.generation,
+                    created_at=created_at)
+        for stream, table in frozen.data.items():
+            for key, bucket in table.items():
+                group._data[stream][key] = list(bucket)
+        group.tuple_count = frozen.tuple_count
+        group.size_bytes = frozen.size_bytes
+        group.output_count = frozen.output_count
+        return group
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionGroup(pid={self.pid}, gen={self.generation}, "
+            f"tuples={self.tuple_count}, out={self.output_count}, "
+            f"{self.size_bytes}B)"
+        )
+
+
+@dataclass(frozen=True)
+class FrozenPartitionGroup:
+    """Immutable snapshot of a partition group.
+
+    Used as the payload of spill segments (parked on disk until cleanup) and
+    of relocation state transfers (shipped over the network and thawed at
+    the receiver).
+    """
+
+    pid: int
+    streams: tuple[str, ...]
+    generation: int
+    data: Mapping[str, Mapping[int, tuple[StreamTuple, ...]]]
+    size_bytes: int
+    tuple_count: int
+    output_count: int
+
+    def tuples_of(self, stream: str) -> Iterator[StreamTuple]:
+        for bucket in self.data[stream].values():
+            yield from bucket
+
+    def keys(self) -> set[int]:
+        """All join-key values present in any input of this snapshot."""
+        keys: set[int] = set()
+        for table in self.data.values():
+            keys.update(table)
+        return keys
+
+
+def full_join_count(parts_by_stream: Mapping[str, Mapping[int, int]]) -> int:
+    """Number of m-way join results over per-stream ``key -> tuple count``
+    histograms: ``sum over keys of the product of per-stream counts``.
+
+    Shared by the workload analyser and the cleanup-phase estimators.
+    """
+    if not parts_by_stream:
+        return 0
+    streams = list(parts_by_stream)
+    common: set[int] | None = None
+    for stream in streams:
+        keys = set(parts_by_stream[stream])
+        common = keys if common is None else (common & keys)
+    total = 0
+    for key in common or ():
+        n = 1
+        for stream in streams:
+            n *= parts_by_stream[stream][key]
+        total += n
+    return total

@@ -1,0 +1,366 @@
+"""Deployment: wire a partitioned query onto the simulated cluster and run it.
+
+:class:`Deployment` is the top-level object users and benchmarks interact
+with.  Given a logical join, a workload specification, a worker list and an
+adaptation configuration, it assembles the full distributed system of the
+paper (Figure 4): stream sources -> split host -> partitioned join
+instances on worker query engines -> output collector, with the global
+coordinator supervising, then runs it for a simulated duration while
+sampling the series every figure plots, and finally executes the cleanup
+phase over whatever state was spilled.
+
+Example
+-------
+>>> from repro import Deployment, AdaptationConfig, StrategyName
+>>> from repro.workloads import WorkloadSpec, three_way_join
+>>> dep = Deployment(
+...     join=three_way_join(),
+...     workload=WorkloadSpec.uniform(n_partitions=24, join_rate=3,
+...                                   tuple_range=3000, interarrival=0.01),
+...     workers=2,
+...     config=AdaptationConfig(strategy=StrategyName.LAZY_DISK,
+...                             memory_threshold=200_000),
+... )
+>>> dep.run(duration=120, sample_interval=10)
+>>> dep.collector.total > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.disk import Disk
+from repro.cluster.machine import Machine
+from repro.cluster.metrics import MetricsHub
+from repro.cluster.network import Network
+from repro.cluster.simulation import Simulator
+from repro.core.cleanup import CleanupExecutor, CleanupReport
+from repro.core.config import AdaptationConfig, CostModel
+from repro.core.coordinator import GC_NAME, GlobalCoordinator
+from repro.core.strategies import profile_of
+from repro.engine.operators.base import Operator
+from repro.engine.operators.mjoin import MJoin
+from repro.engine.operators.split import PartitionMap, Split
+from repro.engine.partitions import FrozenPartitionGroup
+from repro.engine.query_engine import QueryEngine, SourceHost
+from repro.engine.streams import OutputCollector, StreamSource
+from repro.workloads.generator import StreamWorkloadSpec, TupleGenerator, WorkloadSpec
+
+SOURCE_NAME = "source"
+
+
+class Deployment:
+    """A fully wired, runnable instance of the distributed system.
+
+    Parameters
+    ----------
+    join:
+        The logical m-way join.
+    workload:
+        Shared workload specification for all input streams.
+    workers:
+        Worker machine names, or an int ``n`` for ``m1..mn``.
+    config:
+        Adaptation configuration (strategy + tunables).
+    cost:
+        Simulated-hardware cost model.
+    assignment:
+        Initial partition placement: ``None`` for round-robin, a
+        ``{machine: weight}`` dict for the paper's skewed distributions, or
+        an explicit :class:`~repro.engine.operators.split.PartitionMap`.
+    batch_size:
+        Tuples per source delivery batch (simulation granularity).
+    collect_results:
+        Materialise and keep join results (correctness/example mode).
+    record_inputs:
+        Keep every generated input tuple (for reference-join comparisons).
+    downstream:
+        Operators applied to each materialised result at the collector
+        (e.g. Query 1's group-by aggregate); forces materialisation.
+    input_transforms:
+        Per-stream stateless operator chains (select/project) applied at
+        the source host before partitioning.
+    ship_results:
+        Route result batches over the network to a dedicated application
+        server machine (the paper's setup) instead of crediting them at
+        the producing engine.  Off by default — delivery cost is not a
+        studied factor in the paper's figures.
+    payload_fn:
+        Optional payload builder passed to the tuple generators.
+    memory_capacity:
+        Physical per-worker memory (``None`` = unbounded, the usual setting
+        since the adaptation threshold is what matters).
+    """
+
+    def __init__(
+        self,
+        join: MJoin,
+        workload: WorkloadSpec,
+        workers: Sequence[str] | int,
+        config: AdaptationConfig,
+        *,
+        cost: CostModel | None = None,
+        assignment: dict[str, float] | PartitionMap | None = None,
+        batch_size: int = 25,
+        collect_results: bool = False,
+        record_inputs: bool = False,
+        downstream: list[Operator] | None = None,
+        input_transforms: dict[str, list[Operator]] | None = None,
+        payload_fn=None,
+        memory_capacity: int | None = None,
+        ship_results: bool = False,
+        seed: int = 11,
+    ) -> None:
+        if isinstance(workers, int):
+            if workers <= 0:
+                raise ValueError("need at least one worker")
+            workers = [f"m{i + 1}" for i in range(workers)]
+        workers = list(workers)
+        if len(set(workers)) != len(workers):
+            raise ValueError(f"duplicate worker names {workers!r}")
+        from repro.engine.app_server import APP_SERVER_NAME
+
+        reserved = {SOURCE_NAME, GC_NAME, APP_SERVER_NAME}
+        clash = reserved & set(workers)
+        if clash:
+            raise ValueError(f"worker names {sorted(clash)!r} are reserved")
+
+        self.join = join
+        self.workload = workload
+        self.worker_names = workers
+        self.config = config
+        self.cost = cost or CostModel()
+        self.profile = profile_of(config)
+        self.batch_size = batch_size
+
+        self.sim = Simulator()
+        self.metrics = MetricsHub()
+        self.network = Network(
+            self.sim,
+            latency=self.cost.network_latency,
+            bandwidth=self.cost.network_bandwidth,
+        )
+
+        # --- machines, disks ------------------------------------------
+        capacity = None if self.profile.unbounded_memory else memory_capacity
+        self.machines: dict[str, Machine] = {
+            name: Machine(self.sim, name, memory_capacity=capacity)
+            for name in workers
+        }
+        self.disks: dict[str, Disk] = {
+            name: Disk(
+                write_bandwidth=self.cost.disk_write_bandwidth,
+                read_bandwidth=self.cost.disk_read_bandwidth,
+                seek_time=self.cost.disk_seek_time,
+            )
+            for name in workers
+        }
+        self.source_machine = Machine(self.sim, SOURCE_NAME)
+
+        # --- initial partition placement -------------------------------
+        n = workload.n_partitions
+        if assignment is None:
+            base_map = PartitionMap.round_robin(n, workers)
+        elif isinstance(assignment, PartitionMap):
+            base_map = assignment
+        else:
+            unknown = set(assignment) - set(workers)
+            if unknown:
+                raise ValueError(f"assignment names unknown workers {sorted(unknown)!r}")
+            base_map = PartitionMap.weighted(n, assignment)
+        self.initial_map = base_map.copy()
+
+        # --- operators ---------------------------------------------------
+        self.splits: dict[str, Split] = {
+            stream: Split(f"split_{stream}", n, base_map.copy())
+            for stream in join.stream_names
+        }
+        self.instances = {
+            name: join.make_instance(self.machines[name]) for name in workers
+        }
+
+        # --- sinks ------------------------------------------------------
+        materialize = bool(collect_results or downstream)
+        self.collector = OutputCollector(downstream, collect=collect_results)
+
+        # --- application server (optional result shipping) ---------------
+        self.app_server = None
+        app_name = None
+        if ship_results:
+            from repro.engine.app_server import APP_SERVER_NAME, AppServer
+
+            app_machine = Machine(self.sim, APP_SERVER_NAME)
+            self.app_server = AppServer(
+                self.sim, self.network, app_machine, self.collector, self.cost
+            )
+            app_name = APP_SERVER_NAME
+
+        # --- engines ------------------------------------------------------
+        self.engines: dict[str, QueryEngine] = {
+            name: QueryEngine(
+                self.sim,
+                self.network,
+                self.machines[name],
+                self.disks[name],
+                self.instances[name],
+                config,
+                self.cost,
+                self.metrics,
+                self.collector,
+                materialize=materialize,
+                app_server=app_name,
+                seed=seed + i,
+            )
+            for i, name in enumerate(workers)
+        }
+        self.source_host = SourceHost(
+            self.sim,
+            self.network,
+            self.source_machine,
+            self.splits,
+            self.cost,
+            self.metrics,
+            record_inputs=record_inputs,
+            transforms=input_transforms,
+        )
+        self.coordinator = GlobalCoordinator(
+            self.sim,
+            self.network,
+            self.metrics,
+            config,
+            self.cost,
+            workers=workers,
+            split_hosts=[SOURCE_NAME],
+        )
+
+        # --- sources ------------------------------------------------------
+        self.sources = [
+            StreamSource(
+                self.sim,
+                TupleGenerator(
+                    StreamWorkloadSpec(stream=stream, spec=workload,
+                                       payload_fn=payload_fn)
+                ),
+                self.source_host,
+                batch_size=batch_size,
+            )
+            for stream in join.stream_names
+        ]
+        self._started = False
+        self._finished = False
+        self.run_duration: float | None = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration: float, *, sample_interval: float = 30.0,
+            drain: bool = True) -> None:
+        """Run the query for ``duration`` simulated seconds.
+
+        Sources stop generating at ``duration``; metric series are sampled
+        every ``sample_interval``.  With ``drain`` (default) all in-flight
+        tuples and protocol sessions are then allowed to finish, so the
+        post-run state is quiescent before :meth:`cleanup`.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self._finished:
+            raise RuntimeError("deployment already ran; build a fresh one")
+        self.run_duration = duration
+        for source in self.sources:
+            source.stop_at = duration
+        if not self._started:
+            self._started = True
+            for engine in self.engines.values():
+                engine.start()
+            self.coordinator.start()
+            for source in self.sources:
+                source.start()
+        self._sample()
+        t = 0.0
+        while t < duration:
+            t = min(t + sample_interval, duration)
+            self.sim.run(until=t)
+            self._sample()
+        # quiesce: stop control loops, drain data and protocol traffic
+        for engine in self.engines.values():
+            engine.stop()
+        self.coordinator.stop()
+        for source in self.sources:
+            source.stop()
+        if drain:
+            self.sim.run()
+            self._sample()  # final quiesced observation (post-drain tail)
+        self._finished = True
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        self.metrics.sample(now, "outputs", self.collector.total)
+        for name in self.worker_names:
+            store = self.instances[name].store
+            self.metrics.sample(now, f"memory:{name}", store.total_bytes)
+            self.metrics.sample(now, f"queue:{name}", self.machines[name].queue_depth)
+            self.metrics.sample(now, f"disk:{name}", self.disks[name].resident_bytes)
+
+    # ------------------------------------------------------------------
+    # Cleanup phase
+    # ------------------------------------------------------------------
+    def memory_parts(self) -> dict[int, tuple[str, FrozenPartitionGroup]]:
+        """Final memory-resident group per partition ID (cleanup input)."""
+        parts: dict[int, tuple[str, FrozenPartitionGroup]] = {}
+        for name, instance in self.instances.items():
+            for group in instance.store.groups():
+                if group.tuple_count > 0:
+                    parts[group.pid] = (name, group.freeze())
+        return parts
+
+    def cleanup(self, *, materialize: bool = False) -> CleanupReport:
+        """Run the post-run-time cleanup phase over all spilled state."""
+        executor = CleanupExecutor(self.join.stream_names, self.cost,
+                                   window=self.join.window)
+        report = executor.run(
+            self.disks, self.memory_parts(), materialize=materialize
+        )
+        self.metrics.events.record(
+            self.sim.now,
+            "cleanup",
+            "cluster",
+            missing_results=report.missing_results,
+            wall_duration=report.wall_duration,
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Result access
+    # ------------------------------------------------------------------
+    @property
+    def total_outputs(self) -> int:
+        """Join results produced during the run-time phase."""
+        return self.collector.total
+
+    @property
+    def relocation_count(self) -> int:
+        return self.metrics.events.count("relocation")
+
+    @property
+    def spill_count(self) -> int:
+        return self.metrics.events.count("spill") + self.metrics.events.count(
+            "forced_spill"
+        )
+
+    def output_series(self):
+        """Cumulative-output time series (the paper's throughput curves)."""
+        return self.metrics.series("outputs")
+
+    def memory_series(self, machine: str):
+        """One worker's state-volume time series (Figures 6 and 10)."""
+        return self.metrics.series(f"memory:{machine}")
+
+    def total_state_bytes(self) -> int:
+        return sum(inst.store.total_bytes for inst in self.instances.values())
+
+    def spilled_bytes(self) -> int:
+        return sum(d.resident_bytes for d in self.disks.values())

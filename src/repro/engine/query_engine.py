@@ -1,0 +1,486 @@
+"""Query engines: the per-machine processes of the distributed system.
+
+Two engine roles exist in a deployment (paper §2, Figure 4):
+
+* :class:`QueryEngine` — a worker hosting one instance of the partitioned
+  m-way join.  It executes the data path (probe-insert of routed tuples),
+  runs the Table-1 control loops (``ss_timer`` memory checks, ``sr_timer``
+  statistics reports), owns the :class:`~repro.core.local_controller.
+  LocalAdaptationController`, and plays the QE side of the relocation
+  protocol and of coordinator-forced spills.  Its execution mode
+  (``normal`` / ``ss_mode`` / ``sr_mode``, Table 2) gates concurrent
+  adaptations exactly as Algorithms 1-2 prescribe — e.g. a ``cptv``
+  arriving during a spill is deferred until the spill finishes.
+* :class:`SourceHost` — the machine hosting the split operators (the
+  paper's stream-generator-side machine).  It routes arriving tuples to
+  the partition owners, and during relocation pauses/remaps/flushes the
+  affected partitions on the coordinator's orders.
+
+All cross-machine interaction goes through the network as messages; no
+component reads another machine's state directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.disk import Disk
+from repro.cluster.machine import PRIORITY_CONTROL, DynamicTask, Machine
+from repro.cluster.metrics import MetricsHub
+from repro.cluster.network import Message, Network
+from repro.cluster.simulation import Simulator, Timer
+from repro.core.config import AdaptationConfig, CostModel
+from repro.core.coordinator import GC_NAME
+from repro.core.local_controller import LocalAdaptationController
+from repro.core.relocation import (
+    CptvRequest,
+    ForcedSpillDone,
+    ForcedSpillRequest,
+    InstalledAck,
+    Marker,
+    PartsList,
+    PauseAck,
+    PauseRequest,
+    RemapRequest,
+    ResumeAck,
+    StateTransfer,
+    StatsReport,
+    TransferRequest,
+)
+from repro.core.spill import SpillExecutor, SpillOutcome
+from repro.engine.operators.mjoin import MJoinInstance
+from repro.engine.operators.split import Split
+from repro.engine.streams import OutputCollector
+from repro.engine.tuples import StreamTuple
+
+MODE_NORMAL = "normal"
+MODE_SS = "ss_mode"
+MODE_SR = "sr_mode"
+
+
+class QueryEngine:
+    """Worker engine: join instance + local adaptation controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        machine: Machine,
+        disk: Disk,
+        instance: MJoinInstance,
+        config: AdaptationConfig,
+        cost: CostModel,
+        metrics: MetricsHub,
+        collector: OutputCollector,
+        *,
+        coordinator_name: str = GC_NAME,
+        materialize: bool = False,
+        app_server: str | None = None,
+        seed: int = 11,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.machine = machine
+        self.disk = disk
+        self.instance = instance
+        self.config = config
+        self.cost = cost
+        self.metrics = metrics
+        self.collector = collector
+        self.coordinator_name = coordinator_name
+        self.materialize = materialize
+        #: when set, result batches ship over the network to this machine
+        #: (the paper's application server) instead of being credited
+        #: locally
+        self.app_server = app_server
+        self.mode = MODE_NORMAL
+        executor = SpillExecutor(machine, disk, instance.store, cost)
+        self.controller = LocalAdaptationController(
+            instance.store, executor, config, seed=seed
+        )
+        self._pending_cptv: CptvRequest | None = None
+        self._pending_transfer: TransferRequest | None = None
+        self._markers_seen: set[str] = set()
+        self._outputs_reported = 0
+        self._ss_timer: Timer | None = None
+        self._stats_timer: Timer | None = None
+        network.register(machine.name, self.deliver)
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the Table-1 control loops."""
+        if self.config.spill_enabled:
+            self._ss_timer = Timer(
+                self.sim, self.config.ss_interval, self._ss_timer_expired
+            )
+        self._stats_timer = Timer(
+            self.sim, self.config.stats_interval, self._report_stats
+        )
+
+    def stop(self) -> None:
+        for timer in (self._ss_timer, self._stats_timer):
+            if timer is not None:
+                timer.stop()
+        self._ss_timer = None
+        self._stats_timer = None
+
+    # ------------------------------------------------------------------
+    # Network dispatch
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            raise ValueError(
+                f"query engine {self.name!r} cannot handle kind {message.kind!r}"
+            )
+        handler(message)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def _on_tuple_batch(self, message: Message) -> None:
+        batch: list[tuple[int, StreamTuple]] = message.payload
+        self.machine.submit(
+            DynamicTask(lambda: self._process_batch(batch), label="tuple_batch")
+        )
+
+    def _process_batch(self, batch: list[tuple[int, StreamTuple]]):
+        total = 0
+        collected = []
+        for pid, tup in batch:
+            count, results = self.instance.process(
+                pid, tup, now=self.sim.now, materialize=self.materialize
+            )
+            total += count
+            if results:
+                collected.extend(results)
+        duration = len(batch) * self.cost.probe_cost + total * self.cost.result_cost
+
+        def finish() -> None:
+            if self.app_server is not None and total:
+                from repro.engine.app_server import RESULT_WIRE_BYTES
+
+                self.network.send(
+                    self.name, self.app_server, "results",
+                    (total, collected), RESULT_WIRE_BYTES * total,
+                )
+            else:
+                self.collector.add(total, collected, self.sim.now,
+                                   source=self.name)
+
+        return duration, finish
+
+    # ------------------------------------------------------------------
+    # ss_timer: local spill check (Algorithm 1 lines 24-32)
+    # ------------------------------------------------------------------
+    def _ss_timer_expired(self) -> None:
+        if not self.controller.memory_exceeded():
+            return
+        if self.mode != MODE_NORMAL:
+            return  # "don't spill now, wait until next timer expires"
+        self._start_spill(amount=None, forced=False)
+
+    def _start_spill(self, amount: int | None, forced: bool) -> None:
+        self.mode = MODE_SS
+        outcome = self.controller.run_spill(
+            now=self.sim.now, amount=amount, forced=forced, on_done=self._spill_done
+        )
+        if outcome is None:
+            self.mode = MODE_NORMAL
+            if forced:
+                self._send_gc("ss_done", ForcedSpillDone(self.name, 0))
+            self._resume_pending_cptv()
+
+    def _spill_done(self, outcome: SpillOutcome) -> None:
+        self.mode = MODE_NORMAL
+        self.metrics.events.record(
+            self.sim.now,
+            "forced_spill" if outcome.forced else "spill",
+            self.name,
+            bytes=outcome.bytes_spilled,
+            partition_ids=outcome.partition_ids,
+            duration=outcome.duration,
+        )
+        if outcome.forced:
+            self._send_gc(
+                "ss_done", ForcedSpillDone(self.name, outcome.bytes_spilled)
+            )
+        self._resume_pending_cptv()
+
+    # ------------------------------------------------------------------
+    # Coordinator-forced spill (active-disk, Algorithm 2)
+    # ------------------------------------------------------------------
+    def _on_start_ss(self, message: Message) -> None:
+        request: ForcedSpillRequest = message.payload
+        if self.mode != MODE_NORMAL:
+            self._send_gc("ss_done", ForcedSpillDone(self.name, 0))
+            return
+        self._start_spill(amount=request.amount, forced=True)
+
+    # ------------------------------------------------------------------
+    # Relocation protocol, sender side
+    # ------------------------------------------------------------------
+    def _on_cptv(self, message: Message) -> None:
+        request: CptvRequest = message.payload
+        if self.mode == MODE_SS:
+            # Algorithm 1 line 19: wait until the spill completes.
+            self._pending_cptv = request
+            return
+        self._start_cptv(request)
+
+    def _resume_pending_cptv(self) -> None:
+        if self._pending_cptv is not None and self.mode == MODE_NORMAL:
+            request, self._pending_cptv = self._pending_cptv, None
+            self._start_cptv(request)
+
+    def _start_cptv(self, request: CptvRequest) -> None:
+        self.mode = MODE_SR
+        pids, total = self.controller.compute_parts_to_move(request.amount)
+        if not pids:
+            self.mode = MODE_NORMAL
+        self._send_gc("ptv", PartsList(self.name, pids, total))
+
+    def _on_marker(self, message: Message) -> None:
+        marker: Marker = message.payload
+        # The marker drains through the data queue: only once every tuple
+        # forwarded before the pause has been processed does it count.
+        def begin():
+            def finish() -> None:
+                self._markers_seen.add(marker.host)
+                self._maybe_pack_state()
+
+            return 0.0, finish
+
+        self.machine.submit(DynamicTask(begin, label="marker"))
+
+    def _on_transfer(self, message: Message) -> None:
+        self._pending_transfer = message.payload
+        self._maybe_pack_state()
+
+    def _maybe_pack_state(self) -> None:
+        transfer = self._pending_transfer
+        if transfer is None:
+            return
+        if not set(transfer.marker_hosts) <= self._markers_seen:
+            return
+        self._pending_transfer = None
+        self._markers_seen.clear()
+
+        def begin():
+            frozen = self.instance.store.evict(transfer.partition_ids)
+            total = sum(f.size_bytes for f in frozen)
+            duration = total * self.cost.serialize_cost_per_byte
+
+            def finish() -> None:
+                self.network.send(
+                    self.name,
+                    transfer.receiver,
+                    "state",
+                    StateTransfer(
+                        partition_ids=tuple(f.pid for f in frozen),
+                        groups=tuple(frozen),
+                        total_bytes=total,
+                    ),
+                    total,
+                )
+                self.mode = MODE_NORMAL
+
+            return duration, finish
+
+        # Data priority: queues behind every already-delivered tuple batch,
+        # so pre-pause tuples are probed against the state before it leaves.
+        self.machine.submit(DynamicTask(begin, label="pack_state"))
+
+    # ------------------------------------------------------------------
+    # Relocation protocol, receiver side
+    # ------------------------------------------------------------------
+    def _on_state(self, message: Message) -> None:
+        transfer: StateTransfer = message.payload
+
+        def begin():
+            duration = transfer.total_bytes * self.cost.serialize_cost_per_byte
+
+            def finish() -> None:
+                for frozen in transfer.groups:
+                    self.instance.store.install(frozen, now=self.sim.now)
+                self._send_gc(
+                    "installed",
+                    InstalledAck(
+                        receiver=self.name,
+                        partition_ids=transfer.partition_ids,
+                        total_bytes=transfer.total_bytes,
+                    ),
+                )
+
+            return duration, finish
+
+        self.machine.submit(
+            DynamicTask(begin, priority=PRIORITY_CONTROL, label="install_state")
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics reporting (sr_timer at the QE)
+    # ------------------------------------------------------------------
+    def _report_stats(self) -> None:
+        self.controller.observe()
+        outputs = self.instance.store.outputs_total
+        delta = outputs - self._outputs_reported
+        self._outputs_reported = outputs
+        report = StatsReport(
+            machine=self.name,
+            state_bytes=self.instance.store.total_bytes,
+            outputs_delta=delta,
+            group_count=self.instance.store.group_count,
+            queue_depth=self.machine.queue_depth,
+            sent_at=self.sim.now,
+        )
+        self._send_gc("stats", report)
+
+    def _send_gc(self, kind: str, payload) -> None:
+        self.network.send(
+            self.name, self.coordinator_name, kind, payload,
+            self.cost.control_message_bytes,
+        )
+
+
+class SourceHost:
+    """The machine hosting the split operators of every input stream.
+
+    Receives raw tuples from the stream sources, routes them through the
+    splits (buffering partitions under relocation), and forwards batches to
+    the owning workers.  Handles the coordinator's ``pause``/``remap``
+    protocol steps on behalf of all its splits.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        machine: Machine,
+        splits: dict[str, Split],
+        cost: CostModel,
+        metrics: MetricsHub,
+        *,
+        coordinator_name: str = GC_NAME,
+        record_inputs: bool = False,
+        transforms: dict[str, list] | None = None,
+    ) -> None:
+        if not splits:
+            raise ValueError("source host needs at least one split")
+        if transforms:
+            unknown = set(transforms) - set(splits)
+            if unknown:
+                raise ValueError(
+                    f"transforms reference unknown streams {sorted(unknown)!r}"
+                )
+        self.sim = sim
+        self.network = network
+        self.machine = machine
+        self.splits = splits
+        self.cost = cost
+        self.metrics = metrics
+        self.coordinator_name = coordinator_name
+        self.record_inputs = record_inputs
+        #: per-stream stateless operator chains (select/project) applied
+        #: before partitioning — the standard state-reduction step the
+        #: paper assumes has already been pushed ahead of the join
+        self.transforms = transforms or {}
+        self.inputs: list[StreamTuple] = []
+        self.tuples_routed = 0
+        self.tuples_dropped = 0
+        network.register(machine.name, self.deliver)
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def inject(self, stream: str, batch: list[StreamTuple]) -> None:
+        """Entry point for the stream sources (local call on this machine)."""
+        split = self.splits[stream]
+        chain = self.transforms.get(stream, ())
+
+        def begin():
+            transformed: list[StreamTuple] = []
+            for tup in batch:
+                items = [tup]
+                for op in chain:
+                    nxt = []
+                    for item in items:
+                        nxt.extend(op.process(item))
+                    items = nxt
+                transformed.extend(items)
+            self.tuples_dropped += len(batch) - len(transformed)
+            if self.record_inputs:
+                # record what the join actually sees (post-transform)
+                self.inputs.extend(transformed)
+            routed: list[tuple[str, int, StreamTuple]] = []
+            for tup in transformed:
+                for pid, owner, t in split.process(tup):
+                    routed.append((owner, pid, t))
+            self.tuples_routed += len(transformed)
+            duration = len(batch) * (
+                self.cost.route_cost + len(chain) * self.cost.stateless_cost
+            )
+
+            def finish() -> None:
+                self._forward(routed)
+
+            return duration, finish
+
+        self.machine.submit(DynamicTask(begin, label=f"split:{stream}"))
+
+    def _forward(self, routed: list[tuple[str, int, StreamTuple]]) -> None:
+        by_owner: dict[str, list[tuple[int, StreamTuple]]] = {}
+        for owner, pid, tup in routed:
+            by_owner.setdefault(owner, []).append((pid, tup))
+        for owner, batch in by_owner.items():
+            size = sum(t.size for __, t in batch)
+            self.network.send(self.name, owner, "tuple_batch", batch, size)
+
+    # ------------------------------------------------------------------
+    # Relocation protocol (split-host side)
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            raise ValueError(
+                f"source host {self.name!r} cannot handle kind {message.kind!r}"
+            )
+        handler(message)
+
+    def _on_pause(self, message: Message) -> None:
+        request: PauseRequest = message.payload
+        for split in self.splits.values():
+            split.pause(request.partition_ids)
+        # Drain marker down the data link to the sender (FIFO behind all
+        # previously forwarded batches), then ack the coordinator.
+        self.network.send(
+            self.name, request.sender, "marker", Marker(host=self.name),
+            self.cost.control_message_bytes,
+        )
+        self._send_gc("paused", PauseAck(host=self.name))
+
+    def _on_remap(self, message: Message) -> None:
+        request: RemapRequest = message.payload
+        flushed: list[tuple[str, int, StreamTuple]] = []
+        for split in self.splits.values():
+            for pid, owner, tup in split.resume(request.partition_ids, request.new_owner):
+                flushed.append((owner, pid, tup))
+        if flushed:
+            self._forward(flushed)
+        self._send_gc("resumed", ResumeAck(host=self.name))
+
+    def _send_gc(self, kind: str, payload) -> None:
+        self.network.send(
+            self.name, self.coordinator_name, kind, payload,
+            self.cost.control_message_bytes,
+        )

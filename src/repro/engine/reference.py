@@ -1,0 +1,84 @@
+"""Reference (oracle) join implementations for correctness checking.
+
+The adaptation machinery must never change *what* the query answers — only
+*when* results appear (run time vs cleanup).  These brute-force helpers
+compute the ground-truth result set of the m-way equi-join over a bag of
+input tuples; the test suite compares them against run-time + cleanup
+output of adapted runs.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.engine.tuples import JoinResult, StreamTuple
+
+
+def _by_stream_and_key(
+    tuples: Iterable[StreamTuple], streams: Sequence[str]
+) -> dict[str, dict[int, list[StreamTuple]]]:
+    tables: dict[str, dict[int, list[StreamTuple]]] = {s: {} for s in streams}
+    for tup in tuples:
+        if tup.stream not in tables:
+            raise ValueError(f"tuple from unexpected stream {tup.stream!r}")
+        tables[tup.stream].setdefault(tup.key, []).append(tup)
+    return tables
+
+
+def reference_join_count(
+    tuples: Iterable[StreamTuple],
+    streams: Sequence[str],
+    *,
+    window: float | None = None,
+) -> int:
+    """Ground-truth result count of the m-way equi-join."""
+    if window is not None:
+        return len(reference_join(tuples, streams, window=window))
+    tables = _by_stream_and_key(tuples, streams)
+    first = streams[0]
+    total = 0
+    for key, bucket in tables[first].items():
+        n = len(bucket)
+        for other in streams[1:]:
+            match = tables[other].get(key)
+            if not match:
+                n = 0
+                break
+            n *= len(match)
+        total += n
+    return total
+
+
+def reference_join(
+    tuples: Iterable[StreamTuple],
+    streams: Sequence[str],
+    *,
+    window: float | None = None,
+) -> list[JoinResult]:
+    """Ground-truth materialised results of the m-way equi-join.
+
+    Results are ordered combinations (one tuple per stream, in stream
+    order), matching the engine's :class:`~repro.engine.tuples.JoinResult`
+    identity convention.
+    """
+    tables = _by_stream_and_key(tuples, streams)
+    results: list[JoinResult] = []
+    first = streams[0]
+    for key in tables[first]:
+        buckets = [tables[s].get(key, []) for s in streams]
+        if any(not b for b in buckets):
+            continue
+        for combo in product(*buckets):
+            if window is not None:
+                ts_values = [t.ts for t in combo]
+                if max(ts_values) - min(ts_values) > window:
+                    continue
+            results.append(JoinResult(key=key, parts=tuple(combo), ts=combo[-1].ts))
+    return results
+
+
+def result_idents(results: Iterable[JoinResult]) -> set[tuple[tuple[str, int], ...]]:
+    """The identity set of a result collection (for multiset comparison —
+    identities are unique by construction, so set equality suffices)."""
+    return {r.ident for r in results}

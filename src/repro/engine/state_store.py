@@ -1,0 +1,158 @@
+"""Per-join-instance operator state, charged against its machine's memory.
+
+A :class:`StateStore` holds the live partition groups of one m-way join
+instance and is the single point through which state enters or leaves a
+machine, so the memory accounting invariant —
+
+    sum of live group sizes per machine  ==  machine.memory_used share
+
+— holds at every event boundary (verified by the test suite).  The store
+also produces the statistics both adaptation policies consume: per-group
+productivity snapshots for the local controller and machine-level
+aggregates (total bytes, output delta, group count) for the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cluster.machine import Machine
+from repro.engine.partitions import (
+    GROUP_OVERHEAD_BYTES,
+    FrozenPartitionGroup,
+    PartitionGroup,
+)
+from repro.engine.tuples import JoinResult, StreamTuple
+
+
+class StateStore:
+    """All in-memory partition groups of one join instance.
+
+    Parameters
+    ----------
+    machine:
+        The hosting machine; every byte of group state is allocated from it.
+    streams:
+        Ordered input-stream names of the owning join.
+    """
+
+    def __init__(self, machine: Machine, streams: tuple[str, ...]) -> None:
+        self.machine = machine
+        self.streams = streams
+        self._groups: dict[int, PartitionGroup] = {}
+        #: next spill generation per partition ID on this machine
+        self._next_generation: dict[int, int] = {}
+        self.total_bytes = 0
+        self.outputs_total = 0
+        self.tuples_processed = 0
+
+    # ------------------------------------------------------------------
+    # Group access
+    # ------------------------------------------------------------------
+    def group(self, pid: int, *, now: float = 0.0) -> PartitionGroup:
+        """The live group for ``pid``, created (and its overhead charged)
+        on first touch."""
+        grp = self._groups.get(pid)
+        if grp is None:
+            generation = self._next_generation.get(pid, 0)
+            grp = PartitionGroup(pid, self.streams, generation=generation, created_at=now)
+            self._groups[pid] = grp
+            self.machine.allocate(GROUP_OVERHEAD_BYTES)
+            self.total_bytes += GROUP_OVERHEAD_BYTES
+        return grp
+
+    def peek(self, pid: int) -> PartitionGroup | None:
+        """The live group for ``pid`` or ``None`` (no side effects)."""
+        return self._groups.get(pid)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def partition_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._groups))
+
+    def groups(self) -> Iterator[PartitionGroup]:
+        return iter(self._groups.values())
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def probe_insert(
+        self, pid: int, tup: StreamTuple, *, now: float = 0.0, materialize: bool = False
+    ) -> tuple[int, list[JoinResult]]:
+        """Symmetric-hash-join step: probe the other inputs of ``pid``'s
+        group, then insert the tuple.  Returns the produced result count
+        (and the results themselves when ``materialize`` is set)."""
+        grp = self.group(pid, now=now)
+        count, results = grp.probe(tup, materialize=materialize)
+        grp.insert(tup)
+        grp.record_output(count)
+        self.machine.allocate(tup.size)
+        self.total_bytes += tup.size
+        self.outputs_total += count
+        self.tuples_processed += 1
+        return count, results
+
+    # ------------------------------------------------------------------
+    # Adaptation paths
+    # ------------------------------------------------------------------
+    def evict(self, pids: Iterable[int]) -> list[FrozenPartitionGroup]:
+        """Remove the given live groups, releasing their memory.
+
+        Used by both adaptations: spill parks the returned snapshots on the
+        local disk; relocation ships them to the receiver.  The next
+        in-memory instance of an evicted ID gets the following generation
+        number, preserving merge order for cleanup.
+        """
+        frozen: list[FrozenPartitionGroup] = []
+        for pid in pids:
+            grp = self._groups.pop(pid, None)
+            if grp is None:
+                continue
+            snapshot = grp.freeze()
+            frozen.append(snapshot)
+            self._next_generation[pid] = grp.generation + 1
+            self.machine.release(grp.size_bytes)
+            self.total_bytes -= grp.size_bytes
+        return frozen
+
+    def install(self, frozen: FrozenPartitionGroup, *, now: float = 0.0) -> PartitionGroup:
+        """Install a relocated snapshot as a live group on this machine."""
+        if frozen.pid in self._groups:
+            raise ValueError(
+                f"partition {frozen.pid} already live on machine "
+                f"{self.machine.name!r}; relocation mapping is inconsistent"
+            )
+        grp = PartitionGroup.thaw(frozen, created_at=now)
+        self._groups[frozen.pid] = grp
+        nxt = self._next_generation.get(frozen.pid, 0)
+        self._next_generation[frozen.pid] = max(nxt, frozen.generation + 1)
+        self.machine.allocate(grp.size_bytes)
+        self.total_bytes += grp.size_bytes
+        self.outputs_total += 0  # installs carry no new outputs
+        return grp
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def productivity_snapshot(self) -> list[tuple[int, int, int, float]]:
+        """Per-group ``(pid, size_bytes, output_count, productivity)`` rows,
+        ordered by ascending productivity (spill-victim order)."""
+        rows = [
+            (g.pid, g.size_bytes, g.output_count, g.productivity)
+            for g in self._groups.values()
+        ]
+        rows.sort(key=lambda r: (r[3], r[0]))
+        return rows
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def state_of(self, pid: int) -> FrozenPartitionGroup | None:
+        """Non-destructive snapshot of one live group (test helper)."""
+        grp = self._groups.get(pid)
+        return None if grp is None else grp.freeze()

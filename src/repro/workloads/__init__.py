@@ -1,0 +1,49 @@
+"""Synthetic workload generators reproducing the paper's §3.1 data model.
+
+The paper controls its input streams through two knobs:
+
+* **join rate** ``r`` — the join multiplicative factor (average number of
+  tuples per stream sharing one join value) increases by ``r`` after every
+  *tuple range* ``k`` tuples;
+* **tuple range** ``k`` — the granularity over which the factor grows.
+
+:mod:`repro.workloads.generator` turns those knobs (optionally per
+partition, for the skewed experiments) into deterministic tuple streams;
+:mod:`repro.workloads.patterns` adds time-varying load shifts (the
+alternating 10x bursts of Figures 9-10); :mod:`repro.workloads.queries`
+provides the canonical experiment queries, including the financial
+integration Query 1 of the introduction.
+"""
+
+from repro.workloads.analysis import (
+    WorkloadForecast,
+    forecast,
+    multiplicative_factor,
+    partition_output,
+)
+from repro.workloads.generator import (
+    PartitionWorkload,
+    StreamWorkloadSpec,
+    TupleGenerator,
+    WorkloadSpec,
+    distinct_values,
+)
+from repro.workloads.patterns import AlternatingPattern, LoadPattern, UniformPattern
+from repro.workloads.queries import financial_query, three_way_join
+
+__all__ = [
+    "AlternatingPattern",
+    "LoadPattern",
+    "PartitionWorkload",
+    "StreamWorkloadSpec",
+    "TupleGenerator",
+    "UniformPattern",
+    "WorkloadForecast",
+    "WorkloadSpec",
+    "distinct_values",
+    "financial_query",
+    "forecast",
+    "multiplicative_factor",
+    "partition_output",
+    "three_way_join",
+]

@@ -1,0 +1,83 @@
+"""Time-varying load patterns.
+
+The relocation experiments (Figures 9-10) drive the system with a
+worst-case fluctuation: "partitions assigned to machine 1 get 10 times
+more tuples than those of machine 2 for the first five minutes.  After
+that, machine 2 gets 10 times more tuples than machine 1 ...".
+:class:`AlternatingPattern` reproduces exactly that shape; the pattern
+interface is a pure function of (partition, time) so generators stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class LoadPattern(ABC):
+    """Multiplies a partition's base arrival weight as a function of time."""
+
+    @abstractmethod
+    def multiplier(self, pid: int, time: float) -> float:
+        """Weight multiplier for partition ``pid`` at simulation ``time``."""
+
+    @abstractmethod
+    def phase(self, time: float) -> int:
+        """Phase index at ``time``.
+
+        Multipliers are constant within a phase; generators use this to
+        cache cumulative weight tables instead of recomputing them per
+        tuple.
+        """
+
+
+class UniformPattern(LoadPattern):
+    """No fluctuation: every partition keeps its base weight forever."""
+
+    def multiplier(self, pid: int, time: float) -> float:
+        return 1.0
+
+    def phase(self, time: float) -> int:
+        return 0
+
+
+class AlternatingPattern(LoadPattern):
+    """Cyclically boost disjoint partition sets (Figures 9-10 workload).
+
+    Parameters
+    ----------
+    pid_groups:
+        Disjoint partition-ID sets; during phase ``i`` the partitions of
+        ``pid_groups[i % len(pid_groups)]`` receive ``factor`` times their
+        base weight.
+    period:
+        Phase length in seconds (the paper flips every 5 minutes).
+    factor:
+        Boost multiplier (the paper uses 10x).
+    """
+
+    def __init__(self, pid_groups: Sequence[frozenset[int] | set[int]],
+                 period: float, factor: float = 10.0) -> None:
+        if not pid_groups:
+            raise ValueError("need at least one partition group")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        seen: set[int] = set()
+        for group in pid_groups:
+            overlap = seen & set(group)
+            if overlap:
+                raise ValueError(f"partition groups overlap on {sorted(overlap)!r}")
+            seen.update(group)
+        self.pid_groups = [frozenset(g) for g in pid_groups]
+        self.period = period
+        self.factor = factor
+
+    def phase(self, time: float) -> int:
+        return int(time // self.period)
+
+    def multiplier(self, pid: int, time: float) -> float:
+        active = self.pid_groups[self.phase(time) % len(self.pid_groups)]
+        return self.factor if pid in active else 1.0

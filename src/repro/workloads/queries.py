@@ -1,0 +1,81 @@
+"""Canonical experiment queries.
+
+* :func:`three_way_join` — the A ⋈ B ⋈ C symmetric hash join used by every
+  experiment in the paper's evaluation (§3.1).
+* :func:`financial_query` — the introduction's Query 1: three bank streams
+  joined on offer/currency, followed by ``GROUP BY brokerName, min(price)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.operators.aggregate import GroupByAggregate
+from repro.engine.operators.mjoin import MJoin
+from repro.engine.tuples import JoinResult, Schema
+
+#: Broker universe for the financial example payloads.
+BROKERS = (
+    "alpine",
+    "blackrock-eu",
+    "citadel-fx",
+    "deutsche",
+    "everbright",
+    "fuji-sec",
+)
+
+
+def three_way_join(*, window: float | None = None, tuple_size: int = 64) -> MJoin:
+    """The evaluation query: symmetric 3-way join A ⋈ B ⋈ C on one key
+    domain (``A.A1 = B.B1 = C.C1``)."""
+    schemas = tuple(
+        Schema(name=name, key_field="k", fields=("k",), tuple_size=tuple_size)
+        for name in ("A", "B", "C")
+    )
+    return MJoin("ABC", schemas, window=window)
+
+
+def bank_schema(name: str, *, tuple_size: int = 96) -> Schema:
+    """Schema of one bank offer stream of Query 1."""
+    return Schema(
+        name=name,
+        key_field="offerCurrency",
+        fields=("offerCurrency", "brokerName", "price"),
+        tuple_size=tuple_size,
+    )
+
+
+def bank_payload(key: int, seq: int, rng: random.Random) -> tuple:
+    """Payload builder for bank streams: ``(brokerName, price)``.
+
+    Prices wander in a band per broker so the ``min(price)`` aggregate
+    keeps producing genuine updates over time.
+    """
+    broker = BROKERS[(key + seq) % len(BROKERS)]
+    price = round(90.0 + 20.0 * rng.random(), 2)
+    return (broker, price)
+
+
+def financial_query(*, window: float | None = None
+                    ) -> tuple[MJoin, GroupByAggregate]:
+    """Query 1 of the paper's introduction, as a (join, aggregate) pair.
+
+    The join integrates three bank streams on ``offerCurrency``; the
+    aggregate computes the running minimum offered price per broker, the
+    "which brokers sell the currency at the lowest price" question.  The
+    aggregate reads the *first* bank's broker/price columns of each join
+    result (matching the query's ``SELECT brokerName, min(price)``).
+    """
+    schemas = tuple(bank_schema(f"bank{i}") for i in (1, 2, 3))
+    join = MJoin("banks", schemas, window=window)
+
+    def broker_of(result: JoinResult) -> str:
+        return result.parts[0].payload[0]
+
+    def price_of(result: JoinResult) -> float:
+        return result.parts[0].payload[1]
+
+    aggregate = GroupByAggregate(
+        "min_price_per_broker", key_fn=broker_of, value_fn=price_of, fn="min"
+    )
+    return join, aggregate

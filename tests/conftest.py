@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+def make_tuple(stream="A", seq=0, key=0, ts=0.0, size=64, payload=()):
+    """Terse StreamTuple constructor for unit tests."""
+    from repro.engine.tuples import StreamTuple
+
+    return StreamTuple(stream=stream, seq=seq, key=key, ts=ts, size=size,
+                       payload=payload)
+
+
+@pytest.fixture
+def sim():
+    from repro.cluster.simulation import Simulator
+
+    return Simulator()
+
+
+@pytest.fixture
+def machine(sim):
+    from repro.cluster.machine import Machine
+
+    return Machine(sim, "m1")
+
+

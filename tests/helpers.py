@@ -1,0 +1,62 @@
+"""Shared helpers for integration tests."""
+
+from __future__ import annotations
+
+from repro import AdaptationConfig, Deployment, StrategyName
+from repro.workloads import WorkloadSpec, three_way_join
+
+
+def small_deployment(
+    *,
+    strategy=StrategyName.LAZY_DISK,
+    workers=2,
+    n_partitions=12,
+    join_rate=4.0,
+    tuple_range=400,
+    interarrival=0.02,
+    duration=60.0,
+    memory_threshold=30_000,
+    assignment=None,
+    collect=False,
+    seed=7,
+    config_overrides=None,
+    workload=None,
+    **deployment_kwargs,
+):
+    """Build (but do not run) a fast, small deployment for integration tests.
+
+    Scale: ~3k tuples/stream/minute, a dozen partitions — seconds of wall
+    clock, while still triggering several spills and relocations.
+    """
+    overrides = dict(
+        memory_threshold=memory_threshold,
+        theta_r=0.9,
+        tau_m=10.0,
+        coordinator_interval=5.0,
+        stats_interval=2.0,
+        ss_interval=2.0,
+        min_relocation_bytes=1024,
+    )
+    if config_overrides:
+        overrides.update(config_overrides)
+    config = AdaptationConfig(strategy=strategy, **overrides)
+    if workload is None:
+        workload = WorkloadSpec.uniform(
+            n_partitions=n_partitions,
+            join_rate=join_rate,
+            tuple_range=tuple_range,
+            interarrival=interarrival,
+            seed=seed,
+        )
+    deployment = Deployment(
+        join=three_way_join(),
+        workload=workload,
+        workers=workers,
+        config=config,
+        assignment=assignment,
+        collect_results=collect,
+        record_inputs=collect,
+        **deployment_kwargs,
+    )
+    deployment._test_duration = duration  # convenience for callers
+    return deployment

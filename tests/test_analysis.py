@@ -1,0 +1,106 @@
+"""Tests validating the analytical workload model against the system.
+
+The decisive check: an All-Mem deployment's measured output matches the
+closed-form §3.1 forecast — tying the generator, the engine, and the
+paper's own arithmetic together.
+"""
+
+import pytest
+
+from repro import StrategyName
+from repro.workloads import WorkloadSpec
+from repro.workloads.analysis import (
+    forecast,
+    multiplicative_factor,
+    output_growth_exponent,
+    partition_output,
+)
+
+from tests.helpers import small_deployment
+
+
+class TestPartitionOutput:
+    def test_paper_example(self):
+        """The §3.1 example: 5 tuples/value/stream -> 125 results/value."""
+        # one value, multiplicity 5, 3-way
+        assert partition_output(5, 1, 3) == 125
+        # after another 2000 tuples: 10 each -> 1000
+        assert partition_output(10, 1, 3) == 1000
+
+    def test_even_cycling(self):
+        # 6 tuples over 3 values -> each value multiplicity 2 -> 3 * 2^3
+        assert partition_output(6, 3, 3) == 24
+
+    def test_uneven_cycling(self):
+        # 7 tuples over 3 values -> multiplicities (3,2,2)
+        assert partition_output(7, 3, 3) == 27 + 8 + 8
+
+    def test_binary_join(self):
+        assert partition_output(4, 2, 2) == 2 * 4
+
+    def test_zero_tuples(self):
+        assert partition_output(0, 5, 3) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_output(-1, 3, 3)
+        with pytest.raises(ValueError):
+            partition_output(1, 0, 3)
+        with pytest.raises(ValueError):
+            partition_output(1, 3, 1)
+
+    def test_multiplicative_factor(self):
+        assert multiplicative_factor(30, 10) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            multiplicative_factor(1, 0)
+
+
+class TestForecast:
+    def spec(self):
+        return WorkloadSpec.uniform(n_partitions=8, join_rate=3.0,
+                                    tuple_range=240, interarrival=0.05)
+
+    def test_tuples_per_stream(self):
+        f = forecast(self.spec(), duration=60.0)
+        assert f.tuples_per_stream == 1200
+
+    def test_state_bytes(self):
+        f = forecast(self.spec(), duration=60.0)
+        assert f.state_bytes_per_stream == 1200 * 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            forecast(self.spec(), duration=0)
+
+    def test_growth_exponent(self):
+        assert output_growth_exponent(self.spec(), arity=3) == 3.0
+        with pytest.raises(ValueError):
+            output_growth_exponent(self.spec(), arity=1)
+
+    def test_forecast_matches_measured_all_mem_output(self):
+        """End-to-end model validation: measured output within 20% of the
+        closed-form expectation (sampling noise in partition choice)."""
+        spec = self.spec()
+        dep = small_deployment(strategy=StrategyName.ALL_MEMORY,
+                               workload=spec, workers=1)
+        duration = 60.0
+        dep.run(duration=duration, sample_interval=20)
+        expected = forecast(spec, duration).expected_output
+        measured = dep.total_outputs
+        assert measured == pytest.approx(expected, rel=0.2), (
+            f"measured {measured} vs forecast {expected:.0f}"
+        )
+
+    def test_cubic_growth_measured(self):
+        """Cumulative output roughly triples its growth exponent: the value
+        at 2T should be near 2^3 = 8x the value at T."""
+        spec = self.spec()
+        dep = small_deployment(strategy=StrategyName.ALL_MEMORY,
+                               workload=spec, workers=1)
+        dep.run(duration=120.0, sample_interval=10)
+        series = dep.output_series()
+        at_t = series.value_at(60.0)
+        at_2t = series.value_at(120.0)
+        assert at_t > 0
+        ratio = at_2t / at_t
+        assert 5.0 < ratio < 12.0, f"growth ratio {ratio:.1f} not ~8"

@@ -1,0 +1,74 @@
+"""Tests for the application-server result-shipping path."""
+
+import pytest
+
+from repro import StrategyName
+from repro.engine.app_server import APP_SERVER_NAME
+from repro.engine.reference import reference_join, result_idents
+
+from tests.helpers import small_deployment
+
+SHIP = dict(n_partitions=8, join_rate=3.0, tuple_range=240, interarrival=0.05,
+            ship_results=True)
+
+
+class TestShipping:
+    def test_results_arrive_via_union(self):
+        dep = small_deployment(strategy=StrategyName.ALL_MEMORY, **SHIP)
+        dep.run(duration=30, sample_interval=10)
+        assert dep.total_outputs > 0
+        assert dep.app_server is not None
+        assert dep.app_server.batches_received > 0
+        per_instance = dep.app_server.per_instance_counts
+        assert set(per_instance) <= set(dep.worker_names)
+        assert sum(per_instance.values()) == dep.total_outputs
+
+    def test_shipped_totals_match_local_counting(self):
+        """Shipping must not change *what* is produced, only where it is
+        counted."""
+        shipped = small_deployment(strategy=StrategyName.ALL_MEMORY, **SHIP)
+        shipped.run(duration=30, sample_interval=10)
+        local = small_deployment(strategy=StrategyName.ALL_MEMORY,
+                                 n_partitions=8, join_rate=3.0,
+                                 tuple_range=240, interarrival=0.05)
+        local.run(duration=30, sample_interval=10)
+        assert shipped.total_outputs == local.total_outputs
+
+    def test_output_traffic_counted_on_network(self):
+        dep = small_deployment(strategy=StrategyName.ALL_MEMORY, **SHIP)
+        dep.run(duration=30, sample_interval=10)
+        # "results" is data-plane traffic
+        assert dep.network.stats.bytes_sent > 0
+        assert not {"results"} & dep.network.control_kinds
+
+    def test_exactly_once_with_adaptation_and_shipping(self):
+        dep = small_deployment(
+            strategy=StrategyName.LAZY_DISK,
+            assignment={"m1": 0.8, "m2": 0.2},
+            memory_threshold=10_000,
+            collect=True,
+            **SHIP,
+        )
+        dep.run(duration=40, sample_interval=10)
+        assert dep.spill_count > 0
+        report = dep.cleanup(materialize=True)
+        produced = (result_idents(dep.collector.results)
+                    | result_idents(report.results))
+        reference = result_idents(
+            reference_join(dep.source_host.inputs, dep.join.stream_names)
+        )
+        assert produced == reference
+
+    def test_app_name_reserved(self):
+        with pytest.raises(ValueError):
+            small_deployment(workers=[APP_SERVER_NAME])
+
+    def test_app_server_rejects_foreign_kinds(self):
+        from repro.cluster.network import Message
+
+        dep = small_deployment(strategy=StrategyName.ALL_MEMORY, **SHIP)
+        with pytest.raises(ValueError):
+            dep.app_server.deliver(
+                Message(src="x", dst=APP_SERVER_NAME, kind="bogus",
+                        payload=None, size_bytes=1, sent_at=0.0)
+            )

@@ -1,0 +1,160 @@
+"""Tests for the benchmark harness, scaling and CLI."""
+
+import pytest
+
+from repro.bench.harness import RunResult, run_experiment, sample_times
+from repro.bench.scale import SCALES, BenchScale, current_scale
+from repro.core.config import StrategyName
+from repro.workloads import WorkloadSpec
+
+
+class TestScale:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"quick", "default", "full"}
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        assert current_scale().name == "quick"
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "default"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "warp")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_threshold_fraction(self):
+        scale = SCALES["default"]
+        assert scale.threshold_fraction(0.5) == scale.memory_threshold // 2
+
+    def test_describe_mentions_scale_name(self):
+        for scale in SCALES.values():
+            assert scale.name in scale.describe()
+
+    def test_scales_are_ordered(self):
+        assert (SCALES["quick"].duration < SCALES["default"].duration
+                < SCALES["full"].duration)
+
+
+class TestSampleTimes:
+    def test_covers_duration(self):
+        times = sample_times(100.0, 30.0)
+        assert times == [30.0, 60.0, 90.0, 100.0]
+
+    def test_exact_multiple(self):
+        assert sample_times(60.0, 30.0) == [30.0, 60.0]
+
+
+class TestRunExperiment:
+    def small_workload(self):
+        return WorkloadSpec.uniform(n_partitions=8, join_rate=3,
+                                    tuple_range=240, interarrival=0.05)
+
+    def test_returns_run_result(self):
+        result = run_experiment(
+            "t", self.small_workload(), strategy=StrategyName.ALL_MEMORY,
+            workers=1, duration=20.0, sample_interval=10.0,
+        )
+        assert isinstance(result, RunResult)
+        assert result.label == "t"
+        assert result.total_outputs > 0
+        assert result.cleanup is None
+
+    def test_with_cleanup(self):
+        result = run_experiment(
+            "t", self.small_workload(), strategy=StrategyName.NO_RELOCATION,
+            workers=1, duration=30.0, sample_interval=10.0,
+            memory_threshold=5_000,
+            config_overrides=dict(ss_interval=2.0),
+            with_cleanup=True,
+        )
+        assert result.spills > 0
+        assert result.cleanup is not None
+        assert result.cleanup.missing_results > 0
+
+    def test_accepts_strategy_string(self):
+        result = run_experiment(
+            "t", self.small_workload(), strategy="all_memory",
+            workers=1, duration=10.0, sample_interval=5.0,
+        )
+        assert result.relocations == 0
+
+    def test_output_at_and_memory_at(self):
+        result = run_experiment(
+            "t", self.small_workload(), strategy=StrategyName.ALL_MEMORY,
+            workers=1, duration=20.0, sample_interval=10.0,
+        )
+        assert result.output_at(20.0) >= result.output_at(10.0)
+        assert result.memory_at("m1", 20.0) > 0
+
+    def test_deterministic_across_runs(self):
+        kwargs = dict(strategy=StrategyName.LAZY_DISK, workers=2,
+                      duration=30.0, sample_interval=10.0,
+                      memory_threshold=10_000,
+                      config_overrides=dict(ss_interval=2.0,
+                                            coordinator_interval=5.0,
+                                            stats_interval=2.0))
+        a = run_experiment("a", self.small_workload(), **kwargs)
+        b = run_experiment("b", self.small_workload(), **kwargs)
+        assert a.total_outputs == b.total_outputs
+        assert a.spills == b.spills
+        assert a.relocations == b.relocations
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "lazy_disk" in out
+        assert "less_productive" in out
+
+    def test_basic_run(self, capsys):
+        from repro.bench.cli import main
+
+        code = main([
+            "--strategy", "no_relocation", "--workers", "1",
+            "--minutes", "0.5", "--threshold-kb", "50",
+            "--partitions", "8", "--tuple-range", "240",
+            "--interarrival-ms", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run-time outputs" in out
+        assert "cleanup results" in out
+
+    def test_no_cleanup_flag(self, capsys):
+        from repro.bench.cli import main
+
+        main([
+            "--strategy", "all_memory", "--workers", "1",
+            "--minutes", "0.2", "--partitions", "8",
+            "--tuple-range", "240", "--interarrival-ms", "50",
+            "--no-cleanup",
+        ])
+        out = capsys.readouterr().out
+        assert "cleanup results" not in out
+
+    def test_assignment_mismatch_exits(self):
+        from repro.bench.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--workers", "2", "--assignment", "1.0",
+                  "--minutes", "0.1"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        path = tmp_path / "series.csv"
+        main([
+            "--strategy", "all_memory", "--workers", "1",
+            "--minutes", "0.2", "--partitions", "8",
+            "--tuple-range", "240", "--interarrival-ms", "50",
+            "--no-cleanup", "--csv", str(path),
+        ])
+        content = path.read_text().splitlines()
+        assert content[0].startswith("time_s,outputs,memory_m1")
+        assert len(content) > 2

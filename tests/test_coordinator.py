@@ -1,0 +1,198 @@
+"""Tests for the global coordinator's decision logic.
+
+These drive the GC directly with hand-crafted stats reports (no full
+deployment), checking the θ_r / τ_m / λ decision rules of Algorithms 1-2.
+"""
+
+import pytest
+
+from repro.cluster.metrics import MetricsHub
+from repro.cluster.network import Network
+from repro.cluster.simulation import Simulator
+from repro.core.config import AdaptationConfig, CostModel, StrategyName
+from repro.core.coordinator import GlobalCoordinator
+from repro.core.relocation import StatsReport
+
+
+class Harness:
+    """Minimal cluster: a GC plus recording stub endpoints."""
+
+    def __init__(self, config, workers=("m1", "m2")):
+        self.sim = Simulator()
+        self.network = Network(self.sim)
+        self.metrics = MetricsHub()
+        self.sent = []
+        for name in (*workers, "source"):
+            self.network.register(
+                name, lambda m, n=name: self.sent.append((n, m.kind, m.payload))
+            )
+        self.gc = GlobalCoordinator(
+            self.sim, self.network, self.metrics, config, CostModel(),
+            workers=list(workers), split_hosts=["source"],
+        )
+
+    def report(self, machine, state_bytes, outputs_delta=0, group_count=1):
+        self.gc.latest[machine] = StatsReport(
+            machine=machine, state_bytes=state_bytes,
+            outputs_delta=outputs_delta, group_count=group_count,
+            queue_depth=0, sent_at=self.sim.now,
+        )
+
+    def evaluate(self):
+        self.gc.evaluate()
+        self.sim.run()
+        out, self.sent = self.sent, []
+        return out
+
+
+def lazy_config(**over):
+    base = dict(strategy=StrategyName.LAZY_DISK, theta_r=0.8, tau_m=45.0,
+                min_relocation_bytes=100)
+    base.update(over)
+    return AdaptationConfig(**base)
+
+
+def active_config(**over):
+    base = dict(strategy=StrategyName.ACTIVE_DISK, theta_r=0.8, tau_m=45.0,
+                min_relocation_bytes=100, lambda_productivity=2.0,
+                forced_spill_cap=10_000, memory_threshold=1000,
+                forced_spill_pressure=0.5)
+    base.update(over)
+    return AdaptationConfig(**base)
+
+
+class TestRelocationTrigger:
+    def test_imbalance_below_theta_triggers_cptv(self):
+        h = Harness(lazy_config())
+        h.report("m1", 10_000)
+        h.report("m2", 1_000)
+        sent = h.evaluate()
+        assert [(d, k) for d, k, __ in sent] == [("m1", "cptv")]
+        cptv = sent[0][2]
+        assert cptv.amount == (10_000 - 1_000) // 2
+        assert h.gc.session.sender == "m1"
+        assert h.gc.session.receiver == "m2"
+
+    def test_balanced_memory_does_not_trigger(self):
+        h = Harness(lazy_config(theta_r=0.8))
+        h.report("m1", 1000)
+        h.report("m2", 900)  # ratio .9 >= .8
+        assert h.evaluate() == []
+
+    def test_zero_load_does_not_trigger(self):
+        h = Harness(lazy_config())
+        h.report("m1", 0)
+        h.report("m2", 0)
+        assert h.evaluate() == []
+
+    def test_tau_m_spacing_enforced(self):
+        h = Harness(lazy_config(tau_m=45.0))
+        h.gc.last_relocation_time = 0.0
+        h.sim.schedule(10.0, lambda: None)
+        h.sim.run()
+        h.report("m1", 10_000)
+        h.report("m2", 100)
+        assert h.evaluate() == []  # only 10s elapsed
+
+    def test_min_relocation_bytes_suppresses_tiny_moves(self):
+        h = Harness(lazy_config(min_relocation_bytes=10_000))
+        h.report("m1", 5_000)
+        h.report("m2", 100)
+        assert h.evaluate() == []
+
+    def test_single_report_is_not_enough(self):
+        h = Harness(lazy_config())
+        h.report("m1", 10_000)
+        assert h.evaluate() == []
+
+    def test_no_new_session_while_one_active(self):
+        h = Harness(lazy_config())
+        h.report("m1", 10_000)
+        h.report("m2", 100)
+        h.evaluate()
+        h.report("m1", 20_000)
+        h.report("m2", 100)
+        assert h.evaluate() == []  # session still in cptv_sent
+
+    def test_relocation_disabled_for_no_relocation_strategy(self):
+        h = Harness(lazy_config(strategy=StrategyName.NO_RELOCATION))
+        h.report("m1", 10_000)
+        h.report("m2", 100)
+        assert h.evaluate() == []
+
+
+class TestForcedSpillTrigger:
+    def test_productivity_imbalance_forces_spill(self):
+        h = Harness(active_config())
+        # balanced memory, but m2 is 10x less productive
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=10, group_count=10)
+        sent = h.evaluate()
+        assert [(d, k) for d, k, __ in sent] == [("m2", "start_ss")]
+        assert h.gc.stats.forced_spills == 1
+
+    def test_relocation_takes_priority_over_forced_spill(self):
+        h = Harness(active_config())
+        h.report("m1", 10_000, outputs_delta=100, group_count=10)
+        h.report("m2", 1_000, outputs_delta=1, group_count=10)
+        sent = h.evaluate()
+        assert sent[0][1] == "cptv"
+
+    def test_no_pressure_no_forced_spill(self):
+        h = Harness(active_config(memory_threshold=100_000))
+        # pressure floor = 50_000; nobody is near it
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=1, group_count=10)
+        assert h.evaluate() == []
+
+    def test_ratio_below_lambda_no_forced_spill(self):
+        h = Harness(active_config(lambda_productivity=20.0))
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=90, group_count=10)
+        assert h.evaluate() == []
+
+    def test_cap_limits_cumulative_forced_bytes(self):
+        h = Harness(active_config(forced_spill_cap=300))
+        h.gc.stats.forced_spill_bytes = 300
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=1, group_count=10)
+        assert h.evaluate() == []
+
+    def test_amount_respects_remaining_cap(self):
+        h = Harness(active_config(forced_spill_cap=200,
+                                  forced_spill_fraction=0.5))
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=1, group_count=10)
+        [(__, __, req)] = h.evaluate()
+        assert req.amount == 200  # min(500, cap 200)
+
+    def test_lazy_disk_never_forces_spills(self):
+        h = Harness(lazy_config())
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=1, group_count=10)
+        assert h.evaluate() == []
+
+    def test_zero_min_rate_counts_as_infinite_ratio(self):
+        h = Harness(active_config())
+        h.report("m1", 1000, outputs_delta=100, group_count=10)
+        h.report("m2", 1000, outputs_delta=0, group_count=10)
+        sent = h.evaluate()
+        assert sent and sent[0][1] == "start_ss"
+
+
+class TestValidation:
+    def test_duplicate_workers_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            GlobalCoordinator(sim, net, MetricsHub(), lazy_config(),
+                              CostModel(), workers=["m1", "m1"],
+                              split_hosts=["source"])
+
+    def test_unexpected_message_kind_rejected(self):
+        h = Harness(lazy_config())
+        from repro.cluster.network import Message
+
+        with pytest.raises(ValueError):
+            h.gc.deliver(Message(src="x", dst="gc", kind="weird",
+                                 payload=None, size_bytes=1, sent_at=0.0))

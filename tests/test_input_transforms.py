@@ -1,0 +1,94 @@
+"""Tests for stateless operator chains ahead of the join (select/project)."""
+
+import pytest
+
+from repro import StrategyName
+from repro.engine.operators.project import Project
+from repro.engine.operators.select import Select
+from repro.engine.reference import reference_join, result_idents
+from repro.engine.tuples import Schema
+
+from tests.helpers import small_deployment
+
+
+def even_filter(stream):
+    return Select(f"even_{stream}", lambda t: t.key % 2 == 0)
+
+
+class TestSelectAheadOfJoin:
+    def test_filtered_tuples_never_reach_the_join(self):
+        dep = small_deployment(
+            strategy=StrategyName.ALL_MEMORY,
+            n_partitions=8, join_rate=3.0, tuple_range=240,
+            interarrival=0.05, collect=True,
+            input_transforms={"A": [even_filter("A")]},
+        )
+        dep.run(duration=30, sample_interval=10)
+        # every surviving A-key is even; results only involve even keys
+        for result in dep.collector.results:
+            assert result.parts[0].key % 2 == 0
+        assert dep.source_host.tuples_dropped > 0
+
+    def test_reference_comparison_uses_post_transform_inputs(self):
+        dep = small_deployment(
+            strategy=StrategyName.NO_RELOCATION,
+            memory_threshold=8_000,
+            n_partitions=8, join_rate=3.0, tuple_range=240,
+            interarrival=0.05, collect=True,
+            input_transforms={
+                "A": [even_filter("A")],
+                "B": [even_filter("B")],
+            },
+        )
+        dep.run(duration=40, sample_interval=10)
+        report = dep.cleanup(materialize=True)
+        produced = (result_idents(dep.collector.results)
+                    | result_idents(report.results))
+        reference = result_idents(
+            reference_join(dep.source_host.inputs, dep.join.stream_names)
+        )
+        assert produced == reference
+
+    def test_selection_reduces_state_volume(self):
+        def total_state(transforms):
+            dep = small_deployment(
+                strategy=StrategyName.ALL_MEMORY,
+                n_partitions=8, join_rate=3.0, tuple_range=240,
+                interarrival=0.05, input_transforms=transforms,
+            )
+            dep.run(duration=30, sample_interval=10)
+            return dep.total_state_bytes()
+
+        unfiltered = total_state(None)
+        filtered = total_state({"A": [even_filter("A")]})
+        assert filtered < unfiltered
+
+    def test_unknown_transform_stream_rejected(self):
+        with pytest.raises(ValueError):
+            small_deployment(input_transforms={"Z": [even_filter("Z")]})
+
+
+class TestProjectAheadOfJoin:
+    def test_projection_shrinks_tuples(self):
+        schema = Schema(name="A", key_field="k",
+                        fields=("k", "x", "y"), tuple_size=96)
+        project = Project("narrow_A", schema, keep=("x",))
+        dep = small_deployment(
+            strategy=StrategyName.ALL_MEMORY,
+            n_partitions=8, join_rate=2.0, tuple_range=240,
+            interarrival=0.05,
+            input_transforms={"A": [project]},
+            payload_fn=lambda key, seq, rng: (key, key * 2),
+        )
+        dep.run(duration=20, sample_interval=10)
+        assert project.inputs_seen > 0
+        # recorded post-transform tuples carry the projected payload
+        for tup in list(dep.source_host.inputs)[:5]:
+            pass  # record_inputs disabled here; state shrinkage checked below
+        a_sizes = {
+            t.size
+            for inst in dep.instances.values()
+            for g in inst.store.groups()
+            for t in g.tuples_of("A")
+        }
+        assert a_sizes and max(a_sizes) < 96

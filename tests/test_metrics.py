@@ -1,0 +1,116 @@
+"""Unit tests for time series, event logs and the metrics hub."""
+
+import pytest
+
+from repro.cluster.metrics import EventLog, MetricsHub, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        ts = TimeSeries("s")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert [(s.time, s.value) for s in ts] == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_out_of_order_append_rejected(self):
+        ts = TimeSeries("s")
+        ts.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(4.0, 2.0)
+
+    def test_equal_time_append_allowed(self):
+        ts = TimeSeries("s")
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert ts.values == (1.0, 2.0)
+
+    def test_last(self):
+        ts = TimeSeries("s")
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert ts.last().value == 20.0
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries("s").last()
+
+    def test_value_at_step_interpolation(self):
+        ts = TimeSeries("s")
+        ts.append(0.0, 0.0)
+        ts.append(10.0, 100.0)
+        assert ts.value_at(5.0) == 0.0
+        assert ts.value_at(10.0) == 100.0
+        assert ts.value_at(15.0) == 100.0
+
+    def test_value_at_before_first_sample_raises(self):
+        ts = TimeSeries("s")
+        ts.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.value_at(1.0)
+
+    def test_rate_between_is_throughput(self):
+        ts = TimeSeries("outputs")
+        ts.append(0.0, 0.0)
+        ts.append(60.0, 600.0)
+        assert ts.rate_between(0.0, 60.0) == pytest.approx(10.0)
+
+    def test_rate_between_requires_increasing_times(self):
+        ts = TimeSeries("s")
+        ts.append(0.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.rate_between(5.0, 5.0)
+
+    def test_max_and_mean(self):
+        ts = TimeSeries("s")
+        for t, v in enumerate((1.0, 5.0, 3.0)):
+            ts.append(float(t), v)
+        assert ts.max() == 5.0
+        assert ts.mean() == pytest.approx(3.0)
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record(1.0, "spill", "m1", bytes=100)
+        log.record(2.0, "relocation", "m1", receiver="m2")
+        log.record(3.0, "spill", "m2", bytes=200)
+        assert log.count("spill") == 2
+        assert log.count("relocation") == 1
+        spills = log.of_kind("spill")
+        assert [e.machine for e in spills] == ["m1", "m2"]
+        assert spills[0].details["bytes"] == 100
+
+    def test_of_kind_multiple(self):
+        log = EventLog()
+        log.record(1.0, "spill", "m1")
+        log.record(2.0, "forced_spill", "m2")
+        assert len(log.of_kind("spill", "forced_spill")) == 2
+
+    def test_len_and_iter(self):
+        log = EventLog()
+        log.record(1.0, "cleanup", "cluster")
+        assert len(log) == 1
+        assert next(iter(log)).kind == "cleanup"
+
+
+class TestMetricsHub:
+    def test_series_created_on_first_use(self):
+        hub = MetricsHub()
+        hub.sample(0.0, "outputs", 1.0)
+        hub.sample(1.0, "outputs", 2.0)
+        assert hub.series("outputs").values == (1.0, 2.0)
+        assert hub.has_series("outputs")
+        assert not hub.has_series("nope")
+
+    def test_series_names_sorted(self):
+        hub = MetricsHub()
+        hub.sample(0.0, "z", 1.0)
+        hub.sample(0.0, "a", 1.0)
+        assert hub.series_names() == ("a", "z")
+
+    def test_counters(self):
+        hub = MetricsHub()
+        hub.bump("tuples")
+        hub.bump("tuples", 4)
+        assert hub.counters["tuples"] == 5

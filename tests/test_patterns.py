@@ -1,0 +1,51 @@
+"""Tests for time-varying load patterns."""
+
+import pytest
+
+from repro.workloads.patterns import AlternatingPattern, UniformPattern
+
+
+class TestUniformPattern:
+    def test_always_one(self):
+        p = UniformPattern()
+        assert p.multiplier(0, 0.0) == 1.0
+        assert p.multiplier(99, 1e6) == 1.0
+        assert p.phase(0.0) == p.phase(1e6) == 0
+
+
+class TestAlternatingPattern:
+    def test_phases_flip_on_period(self):
+        p = AlternatingPattern([{0}, {1}], period=5.0, factor=10.0)
+        assert p.phase(0.0) == 0
+        assert p.phase(4.99) == 0
+        assert p.phase(5.0) == 1
+        assert p.phase(12.0) == 2
+
+    def test_active_group_gets_factor(self):
+        p = AlternatingPattern([{0, 1}, {2, 3}], period=5.0, factor=10.0)
+        assert p.multiplier(0, 1.0) == 10.0
+        assert p.multiplier(2, 1.0) == 1.0
+        # second phase flips
+        assert p.multiplier(0, 6.0) == 1.0
+        assert p.multiplier(2, 6.0) == 10.0
+
+    def test_cycles_wrap(self):
+        p = AlternatingPattern([{0}, {1}], period=1.0, factor=2.0)
+        assert p.multiplier(0, 2.5) == 2.0  # phase 2 -> group 0 again
+
+    def test_unlisted_partition_is_never_boosted(self):
+        p = AlternatingPattern([{0}, {1}], period=1.0, factor=2.0)
+        for t in (0.0, 1.0, 2.0, 3.0):
+            assert p.multiplier(7, t) == 1.0
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            AlternatingPattern([{0, 1}, {1, 2}], period=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlternatingPattern([], period=1.0)
+        with pytest.raises(ValueError):
+            AlternatingPattern([{0}], period=0.0)
+        with pytest.raises(ValueError):
+            AlternatingPattern([{0}], period=1.0, factor=0.0)

@@ -1,0 +1,96 @@
+"""Tests for the productivity metric and estimator variants."""
+
+import math
+
+import pytest
+
+from repro.core.productivity import (
+    CumulativeProductivity,
+    WindowedProductivity,
+    machine_productivity_rate,
+)
+from repro.engine.partitions import PartitionGroup
+from repro.engine.tuples import StreamTuple
+
+STREAMS = ("A", "B")
+
+
+def group_with(pid, size_per_tuple, n_tuples, outputs):
+    g = PartitionGroup(pid, STREAMS)
+    for seq in range(n_tuples):
+        g.insert(StreamTuple(stream="A", seq=seq, key=pid, ts=0.0,
+                             size=size_per_tuple))
+    g.record_output(outputs)
+    return g
+
+
+class TestCumulative:
+    def test_score_is_output_over_size(self):
+        g = group_with(0, size_per_tuple=100, n_tuples=2, outputs=50)
+        assert CumulativeProductivity().score(g) == pytest.approx(0.25)
+
+    def test_empty_group_scores_inf(self):
+        g = PartitionGroup(0, STREAMS)
+        assert math.isinf(CumulativeProductivity().score(g))
+
+    def test_rank_ascending_least_productive_first(self):
+        low = group_with(0, 100, 4, outputs=1)
+        high = group_with(1, 100, 4, outputs=100)
+        est = CumulativeProductivity()
+        assert [g.pid for g in est.rank_ascending([high, low])] == [0, 1]
+        assert [g.pid for g in est.rank_descending([high, low])] == [1, 0]
+
+    def test_rank_breaks_ties_by_pid(self):
+        a = group_with(2, 100, 1, outputs=10)
+        b = group_with(1, 100, 1, outputs=10)
+        est = CumulativeProductivity()
+        assert [g.pid for g in est.rank_ascending([a, b])] == [1, 2]
+
+
+class TestWindowed:
+    def test_reacts_to_recent_behaviour(self):
+        est = WindowedProductivity(alpha=1.0)  # instant
+        g = group_with(0, 100, 2, outputs=100)  # historically productive
+        est.observe([g])
+        # goes quiet: grows without producing
+        g.insert(StreamTuple(stream="A", seq=99, key=0, ts=1.0, size=100))
+        est.observe([g])
+        assert est.score(g) == pytest.approx(0.0)
+        # cumulative metric still remembers the glory days
+        assert CumulativeProductivity().score(g) > 0
+
+    def test_smoothing_blends_history(self):
+        est = WindowedProductivity(alpha=0.5)
+        g = group_with(0, 100, 1, outputs=10)  # instant = 0.1
+        est.observe([g])
+        first = est.score(g)
+        g.insert(StreamTuple(stream="A", seq=5, key=0, ts=0.0, size=100))
+        g.record_output(0)  # instant = 0.0
+        est.observe([g])
+        assert est.score(g) == pytest.approx(first * 0.5)
+
+    def test_unobserved_group_falls_back_to_cumulative(self):
+        est = WindowedProductivity(alpha=0.5)
+        g = group_with(0, 100, 2, outputs=20)
+        assert est.score(g) == pytest.approx(g.productivity)
+
+    def test_forget_drops_history(self):
+        est = WindowedProductivity(alpha=1.0)
+        g = group_with(0, 100, 1, outputs=10)
+        est.observe([g])
+        est.forget(0)
+        assert est.score(g) == pytest.approx(g.productivity)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            WindowedProductivity(alpha=0.0)
+        with pytest.raises(ValueError):
+            WindowedProductivity(alpha=1.5)
+
+
+class TestMachineRate:
+    def test_rate(self):
+        assert machine_productivity_rate(100, 4) == 25.0
+
+    def test_zero_groups(self):
+        assert machine_productivity_rate(100, 0) == 0.0

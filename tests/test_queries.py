@@ -1,0 +1,73 @@
+"""Tests for the canonical queries, including the financial Query 1."""
+
+import pytest
+
+from repro import Deployment, StrategyName, baseline_config
+from repro.workloads import WorkloadSpec, financial_query, three_way_join
+from repro.workloads.queries import BROKERS, bank_payload, bank_schema
+
+
+class TestThreeWayJoin:
+    def test_streams(self):
+        join = three_way_join()
+        assert join.stream_names == ("A", "B", "C")
+        assert join.window is None
+
+    def test_windowed_variant(self):
+        assert three_way_join(window=30.0).window == 30.0
+
+    def test_tuple_size_flows_into_schemas(self):
+        join = three_way_join(tuple_size=128)
+        assert all(s.tuple_size == 128 for s in join.schemas)
+
+
+class TestFinancialQuery:
+    def test_query_shape(self):
+        join, aggregate = financial_query()
+        assert join.stream_names == ("bank1", "bank2", "bank3")
+        assert aggregate.fn == "min"
+
+    def test_bank_schema_fields(self):
+        schema = bank_schema("bank1")
+        assert schema.key_field == "offerCurrency"
+        assert "price" in schema.fields
+
+    def test_bank_payload_builder(self):
+        import random
+
+        rng = random.Random(1)
+        broker, price = bank_payload(key=3, seq=5, rng=rng)
+        assert broker in BROKERS
+        assert 90.0 <= price <= 110.0
+
+    def test_end_to_end_min_price_per_broker(self):
+        """Run Query 1 on the cluster and check the aggregate's answers
+        against a recomputation over the collected join results."""
+        join, aggregate = financial_query()
+        dep = Deployment(
+            join=join,
+            workload=WorkloadSpec.uniform(n_partitions=6, join_rate=3,
+                                          tuple_range=120, interarrival=0.05,
+                                          tuple_size=96),
+            workers=2,
+            config=baseline_config(StrategyName.ALL_MEMORY),
+            downstream=[aggregate],
+            collect_results=True,
+            payload_fn=bank_payload,
+        )
+        dep.run(duration=40, sample_interval=10)
+        assert dep.total_outputs > 0
+        assert aggregate.groups(), "no broker ever produced a result"
+        # recompute expected minima from the raw results
+        expected = {}
+        for result in dep.collector.results:
+            broker = result.parts[0].payload[0]
+            price = result.parts[0].payload[1]
+            expected[broker] = min(expected.get(broker, float("inf")), price)
+        assert aggregate.groups() == pytest.approx(expected)
+        # updates stream monotonically decreases per broker
+        last = {}
+        for update in dep.collector.downstream_outputs:
+            if update.group in last:
+                assert update.value < last[update.group]
+            last[update.group] = update.value

@@ -1,0 +1,71 @@
+"""Tests for the reference (oracle) join helpers."""
+
+import pytest
+
+from repro.engine.reference import (
+    reference_join,
+    reference_join_count,
+    result_idents,
+)
+from repro.engine.tuples import StreamTuple
+
+STREAMS = ("A", "B", "C")
+
+
+def tup(stream, seq, key, ts=None):
+    return StreamTuple(stream=stream, seq=seq, key=key,
+                       ts=float(seq) if ts is None else ts)
+
+
+class TestCount:
+    def test_cross_product_per_key(self):
+        tuples = [tup("A", 0, 1), tup("A", 1, 1), tup("B", 0, 1),
+                  tup("C", 0, 1), tup("C", 1, 1)]
+        assert reference_join_count(tuples, STREAMS) == 4
+
+    def test_missing_stream_gives_zero(self):
+        tuples = [tup("A", 0, 1), tup("B", 0, 1)]
+        assert reference_join_count(tuples, STREAMS) == 0
+
+    def test_keys_do_not_mix(self):
+        tuples = [tup("A", 0, 1), tup("B", 0, 2), tup("C", 0, 3)]
+        assert reference_join_count(tuples, STREAMS) == 0
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ValueError):
+            reference_join_count([tup("Z", 0, 1)], STREAMS)
+
+    def test_count_matches_materialization(self):
+        tuples = [tup(s, i, k) for i, (s, k) in enumerate(
+            [("A", 1), ("B", 1), ("C", 1), ("A", 2), ("B", 2), ("C", 2),
+             ("A", 1), ("C", 1)]
+        )]
+        assert reference_join_count(tuples, STREAMS) == len(
+            reference_join(tuples, STREAMS)
+        )
+
+
+class TestMaterialized:
+    def test_parts_in_stream_order(self):
+        tuples = [tup("C", 0, 1), tup("A", 1, 1), tup("B", 2, 1)]
+        (result,) = reference_join(tuples, STREAMS)
+        assert [p.stream for p in result.parts] == ["A", "B", "C"]
+
+    def test_idents_unique(self):
+        tuples = [tup("A", i, 1) for i in range(3)]
+        tuples += [tup("B", i, 1) for i in range(2)]
+        tuples += [tup("C", 0, 1)]
+        results = reference_join(tuples, STREAMS)
+        assert len(results) == 6
+        assert len(result_idents(results)) == 6
+
+    def test_window_filters_far_apart_tuples(self):
+        tuples = [tup("A", 0, 1, ts=0.0), tup("B", 1, 1, ts=1.0),
+                  tup("C", 2, 1, ts=100.0)]
+        assert reference_join(tuples, STREAMS, window=10.0) == []
+        assert len(reference_join(tuples, STREAMS, window=200.0)) == 1
+
+    def test_windowed_count_delegates(self):
+        tuples = [tup("A", 0, 1, ts=0.0), tup("B", 1, 1, ts=1.0),
+                  tup("C", 2, 1, ts=2.0)]
+        assert reference_join_count(tuples, STREAMS, window=5.0) == 1

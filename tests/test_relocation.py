@@ -1,0 +1,81 @@
+"""Tests for the relocation protocol payloads and session state machine."""
+
+import pytest
+
+from repro.core.relocation import (
+    PHASES,
+    CptvRequest,
+    PartsList,
+    RelocationSession,
+    StatsReport,
+)
+
+
+def make_session(**overrides):
+    defaults = dict(
+        sender="m1",
+        receiver="m2",
+        amount=1000,
+        split_hosts=("source",),
+        started_at=0.0,
+    )
+    defaults.update(overrides)
+    return RelocationSession(**defaults)
+
+
+class TestSession:
+    def test_initial_phase(self):
+        session = make_session()
+        assert session.phase == "cptv_sent"
+        assert not session.terminal
+        assert session.duration is None
+
+    def test_advance_through_phases(self):
+        session = make_session()
+        for phase in ("pausing", "transferring", "remapping", "done"):
+            session.advance(phase)
+        assert session.terminal
+
+    def test_cannot_regress(self):
+        session = make_session()
+        session.advance("transferring")
+        with pytest.raises(ValueError):
+            session.advance("pausing")
+
+    def test_abort_allowed_from_any_phase(self):
+        session = make_session()
+        session.advance("transferring")
+        session.advance("aborted")
+        assert session.terminal
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            make_session().advance("teleporting")
+
+    def test_duration_after_completion(self):
+        session = make_session(started_at=10.0)
+        session.completed_at = 16.0
+        assert session.duration == pytest.approx(6.0)
+
+    def test_phase_order_constant_is_consistent(self):
+        assert PHASES[0] == "cptv_sent"
+        assert "done" in PHASES and "aborted" in PHASES
+
+
+class TestPayloads:
+    def test_payloads_are_frozen(self):
+        request = CptvRequest(amount=10)
+        with pytest.raises(AttributeError):
+            request.amount = 20  # type: ignore[misc]
+
+    def test_parts_list_fields(self):
+        parts = PartsList(sender="m1", partition_ids=(1, 2), total_bytes=300)
+        assert parts.partition_ids == (1, 2)
+
+    def test_stats_report_fields(self):
+        report = StatsReport(
+            machine="m1", state_bytes=100, outputs_delta=5,
+            group_count=2, queue_depth=0, sent_at=1.0,
+        )
+        assert report.machine == "m1"
+        assert report.outputs_delta == 5

@@ -1,0 +1,91 @@
+"""Property-based tests for the simulation substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Machine, Task
+from repro.cluster.network import Network
+from repro.cluster.simulation import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), max_size=40))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    schedule=st.lists(
+        st.tuples(st.floats(0.0, 10.0), st.floats(0.0, 5.0)), max_size=30
+    )
+)
+def test_machine_service_is_serial_and_fifo(schedule):
+    """Property: for any submission schedule, service intervals never
+    overlap and tasks of one submission batch finish in order."""
+    sim = Simulator()
+    machine = Machine(sim, "m")
+    intervals = []
+
+    def submit(duration):
+        start = {"t": None}
+
+        def begin():
+            start["t"] = sim.now
+
+        def finish():
+            intervals.append((start["t"], sim.now))
+
+        machine.submit(Task(duration, begin))
+        # record completion via a zero-cost follow-up
+        machine.submit(Task(0.0, finish))
+
+    for submit_at, duration in schedule:
+        sim.schedule(submit_at, submit, duration)
+    sim.run()
+    starts = [s for s, __ in intervals]
+    assert starts == sorted(starts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 10_000), min_size=1, max_size=25),
+)
+def test_network_link_is_fifo_for_any_message_sizes(sizes):
+    """Property: messages on one directed link arrive in send order no
+    matter their sizes."""
+    sim = Simulator()
+    net = Network(sim, latency=0.01, bandwidth=1000.0)
+    arrivals = []
+    net.register("dst", lambda m: arrivals.append(m.payload))
+    for i, size in enumerate(sizes):
+        net.send("src", "dst", "data", i, size)
+    sim.run()
+    assert arrivals == list(range(len(sizes)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amounts=st.lists(st.integers(0, 10_000), max_size=30),
+)
+def test_memory_accounting_never_negative(amounts):
+    """Property: alternating allocate/release of matching volumes keeps the
+    account consistent and non-negative."""
+    sim = Simulator()
+    machine = Machine(sim, "m")
+    outstanding = []
+    for amount in amounts:
+        if outstanding and amount % 2:
+            machine.release(outstanding.pop())
+        else:
+            machine.allocate(amount)
+            outstanding.append(amount)
+    assert machine.memory_used == sum(outstanding)
+    assert machine.memory_used >= 0
+    assert machine.memory_high_water >= machine.memory_used

@@ -1,0 +1,131 @@
+"""Unit tests for the per-instance state store and its memory accounting."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.engine.partitions import GROUP_OVERHEAD_BYTES
+from repro.engine.state_store import StateStore
+from repro.engine.tuples import StreamTuple
+
+STREAMS = ("A", "B", "C")
+
+
+def tup(stream, seq, key, size=64):
+    return StreamTuple(stream=stream, seq=seq, key=key, ts=float(seq), size=size)
+
+
+@pytest.fixture
+def store(machine):
+    return StateStore(machine, STREAMS)
+
+
+class TestProbeInsert:
+    def test_counts_and_stats(self, store):
+        store.probe_insert(0, tup("B", 0, 1))
+        store.probe_insert(0, tup("C", 0, 1))
+        count, __ = store.probe_insert(0, tup("A", 0, 1))
+        assert count == 1
+        assert store.outputs_total == 1
+        assert store.tuples_processed == 3
+
+    def test_partitions_isolated(self, store):
+        store.probe_insert(0, tup("B", 0, 1))
+        store.probe_insert(0, tup("C", 0, 1))
+        # same key but different partition id: no match
+        count, __ = store.probe_insert(1, tup("A", 0, 1))
+        assert count == 0
+
+    def test_machine_memory_charged(self, store, machine):
+        store.probe_insert(0, tup("A", 0, 1, size=100))
+        assert machine.memory_used == GROUP_OVERHEAD_BYTES + 100
+        assert store.total_bytes == machine.memory_used
+
+    def test_group_count(self, store):
+        store.probe_insert(0, tup("A", 0, 1))
+        store.probe_insert(3, tup("A", 1, 3))
+        assert store.group_count == 2
+        assert store.partition_ids() == (0, 3)
+        assert 0 in store and 1 not in store
+
+
+class TestEvict:
+    def test_evict_releases_memory(self, store, machine):
+        store.probe_insert(0, tup("A", 0, 1, size=100))
+        store.probe_insert(1, tup("A", 1, 2, size=100))
+        before = machine.memory_used
+        frozen = store.evict([0])
+        assert len(frozen) == 1
+        assert frozen[0].pid == 0
+        assert machine.memory_used == before - (GROUP_OVERHEAD_BYTES + 100)
+        assert store.total_bytes == machine.memory_used
+        assert 0 not in store
+
+    def test_evict_missing_pid_is_noop(self, store):
+        assert store.evict([99]) == []
+
+    def test_next_generation_increments(self, store):
+        store.probe_insert(0, tup("A", 0, 1))
+        (first,) = store.evict([0])
+        assert first.generation == 0
+        store.probe_insert(0, tup("A", 1, 1))
+        (second,) = store.evict([0])
+        assert second.generation == 1
+
+    def test_fresh_group_after_evict_does_not_see_old_state(self, store):
+        store.probe_insert(0, tup("B", 0, 1))
+        store.probe_insert(0, tup("C", 0, 1))
+        store.evict([0])
+        count, __ = store.probe_insert(0, tup("A", 0, 1))
+        assert count == 0  # old state inactive on "disk"
+
+
+class TestInstall:
+    def test_install_restores_state_and_memory(self, store, machine, sim):
+        other_machine = Machine(sim, "m2")
+        other = StateStore(other_machine, STREAMS)
+        other.probe_insert(4, tup("B", 0, 9, size=64))
+        other.probe_insert(4, tup("C", 0, 9, size=64))
+        (frozen,) = other.evict([4])
+        assert other_machine.memory_used == 0
+
+        group = store.install(frozen, now=5.0)
+        assert group.pid == 4
+        assert machine.memory_used == frozen.size_bytes
+        count, __ = store.probe_insert(4, tup("A", 0, 9))
+        assert count == 1  # joins against the relocated state
+
+    def test_install_conflicting_pid_rejected(self, store):
+        store.probe_insert(4, tup("A", 0, 9))
+        snapshot = store.state_of(4)
+        with pytest.raises(ValueError):
+            store.install(snapshot)
+
+    def test_install_bumps_generation_floor(self, store, machine, sim):
+        other = StateStore(Machine(sim, "m2"), STREAMS)
+        other.probe_insert(4, tup("A", 0, 9))
+        other.evict([4])  # gen 0 spilled elsewhere
+        other.probe_insert(4, tup("A", 1, 9))
+        (frozen,) = other.evict([4])  # gen 1 relocates
+        store.install(frozen)
+        (evicted,) = store.evict([4])
+        assert evicted.generation == 1
+        store.probe_insert(4, tup("A", 2, 9))
+        (nxt,) = store.evict([4])
+        assert nxt.generation == 2
+
+
+class TestProductivitySnapshot:
+    def test_rows_sorted_ascending(self, store):
+        # pid 0: large size, no output -> low productivity
+        for seq in range(5):
+            store.probe_insert(0, tup("A", seq, 0, size=200))
+        # pid 1: small and productive
+        store.probe_insert(1, tup("B", 0, 1))
+        store.probe_insert(1, tup("C", 0, 1))
+        store.probe_insert(1, tup("A", 0, 1))
+        rows = store.productivity_snapshot()
+        assert rows[0][0] == 0  # least productive first
+        assert rows[-1][0] == 1
+
+    def test_state_of_returns_none_for_unknown(self, store):
+        assert store.state_of(77) is None

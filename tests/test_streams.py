@@ -1,0 +1,116 @@
+"""Unit tests for stream sources and the output collector."""
+
+import pytest
+
+from repro.cluster.simulation import Simulator
+from repro.engine.operators.select import Select
+from repro.engine.streams import OutputCollector, StreamSource
+from repro.engine.tuples import JoinResult, StreamTuple
+from repro.workloads.generator import StreamWorkloadSpec, TupleGenerator, WorkloadSpec
+
+
+class RecordingHost:
+    """Minimal stand-in for a SourceHost."""
+
+    def __init__(self):
+        self.batches = []
+
+    def inject(self, stream, batch):
+        self.batches.append((stream, list(batch)))
+
+
+def make_source(sim, *, batch_size=5, interarrival=0.1, stop_at=None):
+    spec = WorkloadSpec.uniform(n_partitions=4, join_rate=2.0,
+                                tuple_range=100, interarrival=interarrival)
+    generator = TupleGenerator(StreamWorkloadSpec(stream="A", spec=spec))
+    host = RecordingHost()
+    source = StreamSource(sim, generator, host, batch_size=batch_size,
+                          stop_at=stop_at)
+    return source, host
+
+
+class TestStreamSource:
+    def test_batches_delivered_at_last_arrival_time(self):
+        sim = Simulator()
+        source, host = make_source(sim, batch_size=5, interarrival=0.1)
+        source.start()
+        sim.run(until=0.5)
+        assert len(host.batches) == 1
+        assert sim.now == 0.5
+        stream, batch = host.batches[0]
+        assert stream == "A"
+        assert len(batch) == 5
+
+    def test_stop_at_truncates_final_batch(self):
+        sim = Simulator()
+        source, host = make_source(sim, batch_size=10, interarrival=0.1,
+                                   stop_at=0.75)
+        source.start()
+        sim.run()
+        total = sum(len(b) for __, b in host.batches)
+        assert total == 7  # arrivals at .1 .. .7
+        assert source.tuples_sent == 7
+
+    def test_stop_prevents_further_batches(self):
+        sim = Simulator()
+        source, host = make_source(sim, batch_size=2, interarrival=0.1)
+        source.start()
+        sim.run(until=0.2)
+        source.stop()
+        sim.run(until=5.0)
+        assert sum(len(b) for __, b in host.batches) <= 4
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        source, host = make_source(sim, batch_size=2, interarrival=0.1,
+                                   stop_at=0.4)
+        source.start()
+        source.start()
+        sim.run()
+        seqs = [t.seq for __, b in host.batches for t in b]
+        assert seqs == sorted(set(seqs))  # no duplicated arrivals
+
+    def test_invalid_batch_size(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_source(sim, batch_size=0)
+
+    def test_tuples_carry_generator_stream_name(self):
+        sim = Simulator()
+        source, host = make_source(sim, batch_size=3, stop_at=0.3)
+        assert source.stream == "A"
+        source.start()
+        sim.run()
+        assert all(t.stream == "A" for __, b in host.batches for t in b)
+
+
+class TestOutputCollector:
+    def make_result(self, key=1, seq=0):
+        part = StreamTuple(stream="A", seq=seq, key=key, ts=0.0)
+        return JoinResult(key=key, parts=(part,), ts=0.0)
+
+    def test_counts_without_collecting(self):
+        collector = OutputCollector()
+        collector.add(5, [], now=1.0)
+        collector.add(3, [], now=2.0)
+        assert collector.total == 8
+        assert collector.results == []
+
+    def test_collects_when_enabled(self):
+        collector = OutputCollector(collect=True)
+        result = self.make_result()
+        collector.add(1, [result], now=1.0)
+        assert collector.results == [result]
+
+    def test_downstream_chain_applied_per_result(self):
+        keep_even = Select("even", lambda r: r.key % 2 == 0)
+        collector = OutputCollector(downstream=[keep_even])
+        collector.add(2, [self.make_result(key=2), self.make_result(key=3)],
+                      now=1.0)
+        assert len(collector.downstream_outputs) == 1
+        assert collector.downstream_outputs[0].key == 2
+
+    def test_source_parameter_is_accepted_and_ignored(self):
+        collector = OutputCollector()
+        collector.add(1, [], now=0.0, source="m1")
+        assert collector.total == 1

@@ -1,0 +1,62 @@
+"""Unit tests for tuples, schemas and join results."""
+
+import pytest
+
+from repro.engine.tuples import JoinResult, Schema, StreamTuple
+
+
+class TestSchema:
+    def test_key_field_must_be_in_fields(self):
+        with pytest.raises(ValueError):
+            Schema(name="s", key_field="k", fields=("a", "b"))
+
+    def test_field_index(self):
+        schema = Schema(name="s", key_field="k", fields=("k", "v"))
+        assert schema.field_index("v") == 1
+        with pytest.raises(KeyError):
+            schema.field_index("nope")
+
+    def test_tuple_size_positive(self):
+        with pytest.raises(ValueError):
+            Schema(name="s", key_field="k", fields=("k",), tuple_size=0)
+
+
+class TestStreamTuple:
+    def test_ident(self):
+        tup = StreamTuple(stream="A", seq=3, key=7, ts=1.0)
+        assert tup.ident == ("A", 3)
+
+    def test_value_lookup_key_field(self):
+        schema = Schema(name="A", key_field="k", fields=("k", "price"))
+        tup = StreamTuple(stream="A", seq=0, key=42, ts=0.0, payload=(9.5,))
+        assert tup.value(schema, "k") == 42
+        assert tup.value(schema, "price") == 9.5
+
+    def test_value_lookup_unknown_field(self):
+        schema = Schema(name="A", key_field="k", fields=("k",))
+        tup = StreamTuple(stream="A", seq=0, key=1, ts=0.0)
+        with pytest.raises(KeyError):
+            tup.value(schema, "ghost")
+
+    def test_frozen(self):
+        tup = StreamTuple(stream="A", seq=0, key=1, ts=0.0)
+        with pytest.raises(AttributeError):
+            tup.key = 2  # type: ignore[misc]
+
+    def test_equality_by_value(self):
+        a = StreamTuple(stream="A", seq=0, key=1, ts=0.0)
+        b = StreamTuple(stream="A", seq=0, key=1, ts=0.0)
+        assert a == b
+
+
+class TestJoinResult:
+    def test_ident_orders_parts(self):
+        t1 = StreamTuple(stream="A", seq=1, key=5, ts=0.0)
+        t2 = StreamTuple(stream="B", seq=2, key=5, ts=0.1)
+        result = JoinResult(key=5, parts=(t1, t2), ts=0.1)
+        assert result.ident == (("A", 1), ("B", 2))
+
+    def test_results_with_same_parts_are_equal(self):
+        t1 = StreamTuple(stream="A", seq=1, key=5, ts=0.0)
+        t2 = StreamTuple(stream="B", seq=2, key=5, ts=0.1)
+        assert JoinResult(5, (t1, t2), 0.1) == JoinResult(5, (t1, t2), 0.1)

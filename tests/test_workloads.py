@@ -1,0 +1,174 @@
+"""Tests for the synthetic workload generators (paper §3.1 data model)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generator import (
+    PartitionWorkload,
+    StreamWorkloadSpec,
+    TupleGenerator,
+    WorkloadSpec,
+    distinct_values,
+)
+from repro.workloads.patterns import AlternatingPattern, UniformPattern
+
+
+def make_generator(spec, stream="A", payload_fn=None):
+    return TupleGenerator(StreamWorkloadSpec(stream=stream, spec=spec,
+                                             payload_fn=payload_fn))
+
+
+class TestDistinctValues:
+    def test_formula(self):
+        # share 1/10 of a 30k range at rate 3 -> 1000 distinct values
+        assert distinct_values(3.0, 30_000, 0.1) == 1000
+
+    def test_at_least_one(self):
+        assert distinct_values(100.0, 10, 0.01) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distinct_values(0, 100, 0.5)
+        with pytest.raises(ValueError):
+            distinct_values(1, 0, 0.5)
+        with pytest.raises(ValueError):
+            distinct_values(1, 100, 0)
+        with pytest.raises(ValueError):
+            distinct_values(1, 100, 1.5)
+
+
+class TestWorkloadSpec:
+    def test_uniform_builder(self):
+        spec = WorkloadSpec.uniform(n_partitions=8, join_rate=3, tuple_range=300)
+        assert spec.n_partitions == 8
+        assert all(p.join_rate == 3 for p in spec.partitions)
+
+    def test_mixed_rates_fractions(self):
+        spec = WorkloadSpec.mixed_rates(
+            9, {4.0: 1 / 3, 2.0: 1 / 3, 1.0: 1 / 3}, tuple_range=300
+        )
+        rates = [p.join_rate for p in spec.partitions]
+        assert rates.count(4.0) == 3
+        assert rates.count(2.0) == 3
+        assert rates.count(1.0) == 3
+
+    def test_mixed_rates_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec.mixed_rates(9, {4.0: 0.5, 1.0: 0.2})
+
+    def test_partition_ids_must_be_in_order(self):
+        parts = (PartitionWorkload(pid=1), PartitionWorkload(pid=0))
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_partitions=2, partitions=parts)
+
+    def test_partition_count_must_match(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_partitions=3, partitions=(PartitionWorkload(pid=0),))
+
+    def test_partition_workload_validation(self):
+        with pytest.raises(ValueError):
+            PartitionWorkload(pid=0, join_rate=0)
+        with pytest.raises(ValueError):
+            PartitionWorkload(pid=0, tuple_range=0)
+        with pytest.raises(ValueError):
+            PartitionWorkload(pid=0, weight=0)
+
+
+class TestTupleGenerator:
+    def test_arrival_times_are_evenly_spaced(self):
+        spec = WorkloadSpec.uniform(n_partitions=4, interarrival=0.5,
+                                    tuple_range=100)
+        arrivals = make_generator(spec).take(5)
+        times = [t for t, __ in arrivals]
+        assert times == pytest.approx([0.5, 1.0, 1.5, 2.0, 2.5])
+
+    def test_keys_route_back_to_their_partition(self):
+        spec = WorkloadSpec.uniform(n_partitions=8, tuple_range=400)
+        for __, tup in make_generator(spec).take(200):
+            assert tup.key % 8 == tup.key % spec.n_partitions
+
+    def test_deterministic_given_seed(self):
+        spec = WorkloadSpec.uniform(n_partitions=8, tuple_range=400, seed=42)
+        a = [t.key for __, t in make_generator(spec).take(100)]
+        b = [t.key for __, t in make_generator(spec).take(100)]
+        assert a == b
+
+    def test_streams_draw_from_same_value_universe(self):
+        spec = WorkloadSpec.uniform(n_partitions=4, join_rate=4, tuple_range=80)
+        keys_a = {t.key for __, t in make_generator(spec, "A").take(400)}
+        keys_b = {t.key for __, t in make_generator(spec, "B").take(400)}
+        # round-robin pools guarantee heavy overlap (join partners exist)
+        assert len(keys_a & keys_b) > 0.9 * len(keys_a)
+
+    def test_multiplicative_factor_grows_linearly(self):
+        """After k tuples each value should have ~r occurrences (paper §3.1)."""
+        rate, rng = 4.0, 400
+        spec = WorkloadSpec.uniform(n_partitions=4, join_rate=rate,
+                                    tuple_range=rng)
+        counts = {}
+        for __, tup in make_generator(spec).take(rng):
+            counts[tup.key] = counts.get(tup.key, 0) + 1
+        mean = sum(counts.values()) / len(counts)
+        assert mean == pytest.approx(rate, rel=0.25)
+
+    def test_sequence_numbers_increase(self):
+        spec = WorkloadSpec.uniform(n_partitions=4, tuple_range=100)
+        seqs = [t.seq for __, t in make_generator(spec).take(10)]
+        assert seqs == list(range(10))
+
+    def test_payload_fn_applied(self):
+        spec = WorkloadSpec.uniform(n_partitions=4, tuple_range=100)
+        gen = make_generator(spec, payload_fn=lambda key, seq, rng: (key * 2,))
+        for __, tup in gen.take(5):
+            assert tup.payload == (tup.key * 2,)
+
+    def test_weighted_partitions_receive_more(self):
+        parts = tuple(
+            PartitionWorkload(pid=i, tuple_range=400,
+                              weight=(9.0 if i < 2 else 1.0))
+            for i in range(4)
+        )
+        spec = WorkloadSpec(n_partitions=4, partitions=parts, seed=3)
+        hot = cold = 0
+        for __, tup in make_generator(spec).take(2000):
+            if tup.key % 4 < 2:
+                hot += 1
+            else:
+                cold += 1
+        assert hot > 4 * cold
+
+    def test_alternating_pattern_shifts_load(self):
+        pattern = AlternatingPattern([{0, 1}, {2, 3}], period=10.0, factor=10.0)
+        spec = WorkloadSpec.uniform(n_partitions=4, tuple_range=400,
+                                    interarrival=0.01, pattern=pattern)
+        gen = make_generator(spec)
+        phase0 = [t for time, t in gen.take(900) if time < 9.0]
+        hot0 = sum(1 for t in phase0 if t.key % 4 in (0, 1))
+        assert hot0 > 0.7 * len(phase0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_partitions=st.integers(2, 16),
+    join_rate=st.floats(0.5, 8.0),
+    tuple_range=st.integers(50, 1000),
+    seed=st.integers(0, 10_000),
+)
+def test_generator_invariants(n_partitions, join_rate, tuple_range, seed):
+    """Property: keys are non-negative, route to valid partitions, arrival
+    times strictly increase, and generation is reproducible."""
+    spec = WorkloadSpec.uniform(
+        n_partitions=n_partitions,
+        join_rate=join_rate,
+        tuple_range=tuple_range,
+        seed=seed,
+    )
+    sample = make_generator(spec).take(60)
+    times = [t for t, __ in sample]
+    assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+    for __, tup in sample:
+        assert tup.key >= 0
+        assert 0 <= tup.key % n_partitions < n_partitions
+    again = make_generator(spec).take(60)
+    assert [t.key for __, t in sample] == [t.key for __, t in again]
