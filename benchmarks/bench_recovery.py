@@ -1,0 +1,107 @@
+"""Recovery cost vs checkpoint interval.
+
+Beyond the paper: the ``repro.recovery`` subsystem trades steady-state
+checkpoint I/O against crash recovery work.  A machine is killed mid-run
+under each checkpoint interval; the recovery burden decomposes into
+
+* **detection delay** — silence until the coordinator's failure detector
+  declares the machine lost (set by ``failure_timeout``, interval-free);
+* **protocol time** — pause / restore-from-snapshot / reroute session
+  (scales with the snapshot bytes read back);
+* **replay work** — CPU time to re-probe the input suffix not covered by
+  durable state.  The suffix spans back to the last commit, so its expected
+  length is half the checkpoint interval — this is the term the interval
+  knob controls.
+
+Shape criterion: total recovery time shrinks monotonically as the
+checkpoint interval decreases (the crash instant is fixed just before a
+common multiple of the intervals so each halving of the interval genuinely
+shortens the uncovered suffix).
+"""
+
+from repro import AdaptationConfig, CostModel, Deployment, StrategyName
+from repro.cluster.faults import FaultSchedule, MachineCrash
+from repro.workloads import WorkloadSpec, three_way_join
+
+INTERVALS = (4.0, 8.0, 16.0)  # checkpoint intervals under test, seconds
+CRASH_TIME = 31.0  # just before t=32, a commit point of every interval
+DURATION = 60.0
+
+
+def run_crash(checkpoint_interval: float):
+    cost = CostModel()
+    config = AdaptationConfig(
+        strategy=StrategyName.RELOCATION_ONLY,  # balanced load: no moves
+        memory_threshold=10_000_000,
+        stats_interval=2.0,
+        coordinator_interval=2.0,
+        checkpoint_enabled=True,
+        checkpoint_interval=checkpoint_interval,
+        failure_timeout=5.0,
+    )
+    dep = Deployment(
+        join=three_way_join(),
+        workload=WorkloadSpec.uniform(
+            n_partitions=12, join_rate=3.0, tuple_range=400,
+            interarrival=0.02, seed=7,
+        ),
+        workers=3,
+        config=config,
+        cost=cost,
+    )
+    FaultSchedule(
+        [MachineCrash(time=CRASH_TIME, engine=dep.engines["m2"])]
+    ).arm(dep.sim)
+    dep.run(duration=DURATION, sample_interval=10)
+    assert dep.recovery_count == 1, "crash was not recovered"
+    lost = dep.metrics.events.of_kind("machine_lost")[0]
+    recovery = dep.metrics.events.of_kind("recovery")[0]
+    detect_delay = lost.time - CRASH_TIME
+    protocol_time = recovery.details["duration"]
+    replayed = recovery.details["tuples_replayed"]
+    replay_cpu = replayed * cost.probe_cost
+    return {
+        "interval": checkpoint_interval,
+        "detect_delay": detect_delay,
+        "protocol_time": protocol_time,
+        "tuples_replayed": replayed,
+        "bytes_restored": recovery.details["bytes_restored"],
+        "replay_cpu": replay_cpu,
+        "recovery_time": detect_delay + protocol_time + replay_cpu,
+        "checkpoints": dep.checkpoint_count,
+    }
+
+
+def run_sweep():
+    return [run_crash(interval) for interval in INTERVALS]
+
+
+def test_recovery_time_vs_checkpoint_interval(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    header = (f"{'interval':>9} {'ckpts':>6} {'detect':>8} {'protocol':>9} "
+              f"{'replayed':>9} {'restoredB':>10} {'recovery_t':>11}")
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{r['interval']:>8.0f}s {r['checkpoints']:>6} "
+            f"{r['detect_delay']:>7.2f}s {r['protocol_time']:>8.3f}s "
+            f"{r['tuples_replayed']:>9} {r['bytes_restored']:>10} "
+            f"{r['recovery_time']:>10.2f}s"
+        )
+    report(
+        "Recovery cost vs checkpoint interval "
+        f"(crash of m2 at t={CRASH_TIME:.0f}s, 3 workers, "
+        f"failure_timeout=5s)\n\n" + "\n".join(lines)
+        + "\n\nrecovery_time = detection + protocol + replay CPU; the replay"
+        "\nsuffix spans back to the last commit, so shorter checkpoint"
+        "\nintervals buy faster recovery at the price of more checkpoints."
+    )
+    # more frequent checkpoints -> shorter uncovered suffix -> less replay
+    for tighter, looser in zip(rows, rows[1:]):
+        assert tighter["tuples_replayed"] < looser["tuples_replayed"], (
+            f"replay did not shrink: interval {tighter['interval']}s replayed "
+            f"{tighter['tuples_replayed']} vs {looser['tuples_replayed']} at "
+            f"{looser['interval']}s"
+        )
+        assert tighter["recovery_time"] < looser["recovery_time"]
+        assert tighter["checkpoints"] > looser["checkpoints"]

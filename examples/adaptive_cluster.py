@@ -25,7 +25,7 @@ DURATION = 480.0  # 8 simulated minutes
 THRESHOLD = 250_000  # bytes of operator state per machine before spilling
 
 
-def run_strategy(strategy: StrategyName):
+def run_strategy(strategy: StrategyName, duration: float = DURATION):
     workload = WorkloadSpec.mixed_rates(
         24, {4.0: 1 / 3, 2.0: 1 / 3, 1.0: 1 / 3},
         tuple_range=2_400, interarrival=0.02,
@@ -49,17 +49,17 @@ def run_strategy(strategy: StrategyName):
         config=config,
         assignment={"m1": 2 / 3, "m2": 1 / 6, "m3": 1 / 6},
     )
-    deployment.run(duration=DURATION, sample_interval=60)
+    deployment.run(duration=duration, sample_interval=max(duration / 8, 1.0))
     cleanup = deployment.cleanup()
     return deployment, cleanup
 
 
-def main() -> None:
-    print(f"running 5 strategies x {DURATION / 60:.0f} simulated minutes "
+def main(duration: float = DURATION) -> None:
+    print(f"running 5 strategies x {duration / 60:.1f} simulated minutes "
           f"(spill threshold {THRESHOLD / 1000:.0f} KB/machine) ...\n")
     rows = []
     for strategy in StrategyName:
-        deployment, cleanup = run_strategy(strategy)
+        deployment, cleanup = run_strategy(strategy, duration)
         forced = deployment.metrics.events.count("forced_spill")
         rows.append([
             strategy.value,

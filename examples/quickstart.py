@@ -20,7 +20,7 @@ from repro import AdaptationConfig, Deployment, StrategyName
 from repro.workloads import WorkloadSpec, three_way_join
 
 
-def main() -> None:
+def main(duration: float = 600.0) -> None:
     # --- 1. the query -------------------------------------------------
     join = three_way_join()  # A ⋈ B ⋈ C on one join-key domain
 
@@ -53,8 +53,9 @@ def main() -> None:
     )
 
     # --- 4. run + cleanup ----------------------------------------------
-    print("running 10 simulated minutes of the lazy-disk strategy ...")
-    deployment.run(duration=600, sample_interval=60)
+    print(f"running {duration / 60:.1f} simulated minutes of the "
+          "lazy-disk strategy ...")
+    deployment.run(duration=duration, sample_interval=max(duration / 10, 1.0))
 
     print(f"\nrun-time results produced : {deployment.total_outputs:,}")
     print(f"relocations performed     : {deployment.relocation_count}")

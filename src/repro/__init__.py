@@ -28,7 +28,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproduction index.
 """
 
-from repro.core.config import AdaptationConfig, CostModel, SpillPolicyName, StrategyName
+from repro.core.config import (
+    AdaptationConfig,
+    CheckpointMode,
+    CheckpointTarget,
+    CostModel,
+    SpillPolicyName,
+    StrategyName,
+)
 from repro.core.strategies import (
     STRATEGIES,
     StrategyProfile,
@@ -44,6 +51,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptationConfig",
+    "CheckpointMode",
+    "CheckpointTarget",
     "CostModel",
     "Deployment",
     "JoinResult",

@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the cleanup phase")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="also write the output series as CSV to PATH")
+    parser.add_argument("--json", action="store_true",
+                        help="also write a machine-readable summary to "
+                             "benchmarks/results/BENCH_<name>.json")
+    parser.add_argument("--name", default=None,
+                        help="result-file name for --json "
+                             "(default: the strategy name)")
     parser.add_argument("--list", action="store_true",
                         help="list strategies and spill policies, then exit")
     return parser
@@ -119,18 +125,49 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(series_csv(columns, times) + "\n")
         print(f"[series written to {args.csv}]\n")
-    summary = {
+    # numeric summary first (JSON output), formatted view derived from it
+    numbers = {
         "strategy": args.strategy,
-        "run-time outputs": f"{result.total_outputs:,}",
+        "spill_policy": args.spill_policy,
+        "workers": args.workers,
+        "duration_s": duration,
+        "seed": args.seed,
+        "runtime_outputs": result.total_outputs,
         "relocations": result.relocations,
         "spills": result.spills,
-        "state in memory (B)": f"{result.deployment.total_state_bytes():,}",
-        "state on disk (B)": f"{result.deployment.spilled_bytes():,}",
+        "state_in_memory_bytes": result.deployment.total_state_bytes(),
+        "state_on_disk_bytes": result.deployment.spilled_bytes(),
     }
     if result.cleanup is not None:
-        summary["cleanup results"] = f"{result.cleanup.missing_results:,}"
-        summary["cleanup wall (s)"] = f"{result.cleanup.wall_duration:.1f}"
+        numbers["cleanup_results"] = result.cleanup.missing_results
+        numbers["cleanup_wall_s"] = result.cleanup.wall_duration
+    summary = {
+        "strategy": args.strategy,
+        "run-time outputs": f"{numbers['runtime_outputs']:,}",
+        "relocations": numbers["relocations"],
+        "spills": numbers["spills"],
+        "state in memory (B)": f"{numbers['state_in_memory_bytes']:,}",
+        "state on disk (B)": f"{numbers['state_on_disk_bytes']:,}",
+    }
+    if result.cleanup is not None:
+        summary["cleanup results"] = f"{numbers['cleanup_results']:,}"
+        summary["cleanup wall (s)"] = f"{numbers['cleanup_wall_s']:.1f}"
     print(kv_block("summary", summary))
+    if args.json:
+        import json
+        import pathlib
+
+        name = args.name or args.strategy
+        results_dir = pathlib.Path("benchmarks/results")
+        results_dir.mkdir(parents=True, exist_ok=True)
+        path = results_dir / f"BENCH_{name}.json"
+        numbers["series"] = {
+            "times": list(times),
+            "outputs": [result.output_at(t) for t in times],
+        }
+        path.write_text(json.dumps(numbers, indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"\n[summary written to {path}]")
     return 0
 
 

@@ -10,19 +10,24 @@ This module injects the variability the adaptive machinery must survive:
 * :class:`NetworkDegradation` — change the fabric's bandwidth/latency at a
   chosen instant (a congested or flapping switch); in-flight transfers are
   unaffected, subsequent ones see the new link characteristics.
+* :class:`MachineCrash` / :class:`MachineRestart` — fail-stop a query
+  engine (losing its in-memory state and in-flight work) and optionally
+  bring it back empty.  Exercised by the ``repro.recovery`` subsystem.
 * :class:`FaultSchedule` — a declarative list of timed faults armed onto a
   simulator.
 
-Faults never violate the correctness contract (the exactly-once tests run
-under fault schedules); they only move *when* work happens — which is
-precisely what makes them useful for probing the adaptation policies.
+The perturbation faults never violate the correctness contract (the
+exactly-once tests run under fault schedules); they only move *when* work
+happens.  Crash faults genuinely destroy state — surviving them requires
+checkpointing (``AdaptationConfig.checkpoint_enabled``).
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Protocol, Sequence
 
 from repro.cluster.machine import Machine
 from repro.cluster.network import Network
@@ -102,14 +107,84 @@ class NetworkDegradation(Fault):
         return f"t={self.time:.0f}s: network {' '.join(parts)}"
 
 
+class CrashTarget(Protocol):
+    """What a crash fault needs from its victim (a ``QueryEngine`` in
+    practice; typed structurally to keep ``cluster`` free of ``engine``
+    imports)."""
+
+    name: str
+
+    def crash(self) -> None: ...
+
+    def restart(self) -> None: ...
+
+
+@dataclass
+class MachineCrash(Fault):
+    """Fail-stop a query engine at ``time``.
+
+    The engine's machine drops all queued and in-service work, its live
+    partition groups and buffered outputs vanish, and it ignores network
+    traffic until restarted.  Without checkpointing this loses results;
+    with ``checkpoint_enabled`` the coordinator detects the silence and
+    re-homes the lost partitions from the latest durable snapshot.
+    """
+
+    time: float
+    engine: CrashTarget
+
+    def apply(self) -> None:
+        self.engine.crash()
+
+    def describe(self) -> str:
+        return f"t={self.time:.0f}s: crash of {self.engine.name!r}"
+
+
+@dataclass
+class MachineRestart(Fault):
+    """Bring a crashed engine back — empty — at ``time``.
+
+    The machine rejoins with no state; its statistics heartbeats resume,
+    so the coordinator marks it live again and may assign it new work
+    through the normal relocation machinery.
+    """
+
+    time: float
+    engine: CrashTarget
+
+    def apply(self) -> None:
+        self.engine.restart()
+
+    def describe(self) -> str:
+        return f"t={self.time:.0f}s: restart of {self.engine.name!r}"
+
+
 class FaultSchedule:
     """A declarative, armable list of timed faults.
+
+    Fault times are validated eagerly: each must be a finite, non-negative
+    number at construction, and :meth:`arm` refuses schedules whose first
+    fault already lies in the simulator's past — otherwise the calendar
+    queue would surface a confusing "scheduling into the past" error deep
+    inside the run loop.
 
     >>> schedule = FaultSchedule([CpuSlowdown(60.0, machine, 0.5)])
     >>> schedule.arm(sim)   # doctest: +SKIP
     """
 
     def __init__(self, faults: Sequence[Fault]) -> None:
+        for idx, fault in enumerate(faults):
+            time = getattr(fault, "time", None)
+            if not isinstance(time, (int, float)) or isinstance(time, bool):
+                raise TypeError(
+                    f"fault #{idx} ({type(fault).__name__}) has non-numeric "
+                    f"time {time!r}"
+                )
+            if math.isnan(time) or math.isinf(time) or time < 0:
+                raise ValueError(
+                    f"fault #{idx} ({fault.describe()}) has invalid time "
+                    f"{time!r}; times must be finite and non-negative"
+                )
         self.faults = sorted(faults, key=lambda f: f.time)
         self.applied: list[str] = []
         self._armed = False
@@ -118,6 +193,12 @@ class FaultSchedule:
         """Schedule every fault onto ``sim`` (idempotent)."""
         if self._armed:
             return
+        if self.faults and self.faults[0].time < sim.now:
+            raise ValueError(
+                f"fault schedule starts at t={self.faults[0].time:g}s but the "
+                f"simulator clock is already at t={sim.now:g}s; arm the "
+                f"schedule before running, or drop the past faults"
+            )
         self._armed = True
         for fault in self.faults:
             sim.schedule_at(fault.time, self._fire, fault)

@@ -161,8 +161,11 @@ class Machine:
         self.memory_high_water = 0
         self._queues: tuple[deque, deque] = (deque(), deque())
         self._busy = False
+        self._epoch = 0
         self.busy_time = 0.0
         self.tasks_completed = 0
+        self.tasks_lost = 0
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # Memory accounting
@@ -246,15 +249,36 @@ class Machine:
         service_time, finish = task.begin()
         duration = service_time / self.cpu_speed
         self.busy_time += duration
-        self.sim.schedule(duration, self._complete, finish)
+        self.sim.schedule(duration, self._complete, finish, self._epoch)
 
-    def _complete(self, finish: Callable[[], None] | None) -> None:
+    def _complete(self, finish: Callable[[], None] | None, epoch: int = 0) -> None:
+        if epoch != self._epoch:
+            return  # the machine crashed while this task was in service
         self._busy = False
         self.tasks_completed += 1
         if finish is not None:
             finish()
         if not self._busy:  # finish() may have submitted + dispatched already
             self._dispatch()
+
+    def crash(self) -> None:
+        """Fail-stop: drop every queued and in-service task and zero memory.
+
+        The epoch bump makes the pending ``_complete`` of the in-service
+        task a no-op, so a task interrupted mid-service mutates state at
+        ``begin`` but never releases its outputs — exactly the half-done
+        work a real crash loses.  Callers owning state accounted against
+        this machine (the :class:`~repro.engine.state_store.StateStore`)
+        must reset their own books; memory here is simply zeroed.
+        """
+        self._epoch += 1
+        lost = self.queue_depth + (1 if self._busy else 0)
+        self.tasks_lost += lost
+        for queue in self._queues:
+            queue.clear()
+        self._busy = False
+        self.memory_used = 0
+        self.crashes += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cap = "inf" if self.memory_capacity is None else str(self.memory_capacity)

@@ -74,7 +74,11 @@ class Network:
     #: message kinds that count as adaptation/state traffic rather than data
     DEFAULT_CONTROL_KINDS = frozenset(
         {"stats", "cptv", "ptv", "pause", "paused", "marker", "transfer",
-         "installed", "remap", "resumed", "start_ss", "ss_done"}
+         "installed", "remap", "resumed", "start_ss", "ss_done",
+         # recovery protocol (repro.recovery); bulk "restore" and "ckpt"
+         # payloads are deliberately excluded — state traffic, like "state"
+         "trim", "pause_owned", "owned_paused", "restored",
+         "recover_route", "rerouted", "abort_transfer", "transfer_aborted"}
     )
 
     def __init__(
@@ -142,7 +146,7 @@ class Network:
         if kind in self.control_kinds:
             self.stats.control_messages += 1
             self.stats.control_bytes += size_bytes
-        if kind == "state":
+        if kind in ("state", "restore", "ckpt"):
             self.stats.state_transfer_bytes += size_bytes
         return message
 

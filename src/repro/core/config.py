@@ -54,6 +54,32 @@ class RelocationScope(str, Enum):
     OPERATOR = "operator"
 
 
+class CheckpointMode(str, Enum):
+    """What a periodic checkpoint snapshots (``repro.recovery``).
+
+    * ``FULL`` — every live partition group, every time.
+    * ``INCREMENTAL`` — only groups mutated since their last snapshot; the
+      registry keeps one durable entry per partition, so unchanged entries
+      stay valid.
+    """
+
+    FULL = "full"
+    INCREMENTAL = "incremental"
+
+
+class CheckpointTarget(str, Enum):
+    """Where checkpoint snapshots become durable.
+
+    * ``LOCAL`` — the machine's own disk (modelled as surviving a crash,
+      i.e. journaled/network-attached storage).
+    * ``PEER`` — shipped over the network to the next worker's disk, adding
+      transfer cost but keeping a copy off the writing machine.
+    """
+
+    LOCAL = "local"
+    PEER = "peer"
+
+
 class StrategyName(str, Enum):
     """Top-level adaptation strategies compared in the evaluation.
 
@@ -178,6 +204,22 @@ class AdaptationConfig:
     #: threshold before the coordinator forces state to disk.
     forced_spill_pressure: float = 0.6
 
+    # ----- crash recovery (repro.recovery; beyond the paper) ------------
+    #: Master switch for the checkpoint/recovery subsystem.  Off by default:
+    #: with it off the engines, coordinator, and source hosts behave exactly
+    #: as the paper's protocol describes (no durability work, no buffering).
+    checkpoint_enabled: bool = False
+    #: Seconds between two periodic checkpoints of one machine.
+    checkpoint_interval: float = 30.0
+    #: Snapshot everything each time, or only mutated partition groups.
+    checkpoint_mode: CheckpointMode = CheckpointMode.INCREMENTAL
+    #: Durable storage for snapshots: own disk or the next worker's disk.
+    checkpoint_target: CheckpointTarget = CheckpointTarget.LOCAL
+    #: Seconds of statistics-heartbeat silence after which the coordinator
+    #: declares a worker dead and starts recovery.  Must comfortably exceed
+    #: ``stats_interval`` or healthy workers will be declared lost.
+    failure_timeout: float = 15.0
+
     # ----- shared -------------------------------------------------------
     #: Smoothing factor for the windowed productivity estimator (None uses
     #: the cumulative metric exactly as defined in §2).
@@ -202,9 +244,20 @@ class AdaptationConfig:
             raise ValueError("forced_spill_pressure must be in [0, 1]")
         if self.min_relocation_bytes < 0:
             raise ValueError("min_relocation_bytes must be non-negative")
-        for name in ("ss_interval", "stats_interval", "coordinator_interval"):
+        for name in (
+            "ss_interval",
+            "stats_interval",
+            "coordinator_interval",
+            "checkpoint_interval",
+            "failure_timeout",
+        ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.checkpoint_enabled and self.failure_timeout <= self.stats_interval:
+            raise ValueError(
+                "failure_timeout must exceed stats_interval: the failure detector "
+                "counts missed statistics heartbeats"
+            )
         if self.productivity_alpha is not None and not 0 < self.productivity_alpha <= 1:
             raise ValueError("productivity_alpha must be in (0, 1] or None")
 
@@ -232,3 +285,8 @@ class AdaptationConfig:
     @property
     def forced_spill_enabled(self) -> bool:
         return self.strategy is StrategyName.ACTIVE_DISK
+
+    @property
+    def recovery_enabled(self) -> bool:
+        """Checkpointing and crash recovery always ship together."""
+        return self.checkpoint_enabled

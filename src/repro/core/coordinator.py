@@ -28,6 +28,7 @@ from repro.cluster.network import Message, Network
 from repro.cluster.simulation import Simulator, Timer
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.productivity import machine_productivity_rate
+from repro.recovery.protocol import AbortTransferRequest
 from repro.core.relocation import (
     CptvRequest,
     ForcedSpillDone,
@@ -101,7 +102,15 @@ class GlobalCoordinator:
         self.last_relocation_time = -float("inf")
         self.stats = CoordinatorStats()
         self._timer: Timer | None = None
+        #: optional crash-recovery driver (repro.recovery.RecoveryManager)
+        self.recovery = None
         network.register(name, self.deliver)
+
+    def attach_recovery(self, recovery) -> None:
+        """Plug in a :class:`~repro.recovery.RecoveryManager`; the GC then
+        runs its failure detector each evaluation pass and forwards the
+        recovery-protocol acks to it."""
+        self.recovery = recovery
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -120,6 +129,8 @@ class GlobalCoordinator:
     # ------------------------------------------------------------------
     def deliver(self, message: Message) -> None:
         handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None and self.recovery is not None:
+            handler = getattr(self.recovery, f"_on_{message.kind}", None)
         if handler is None:
             raise ValueError(f"coordinator cannot handle message kind {message.kind!r}")
         handler(message)
@@ -127,6 +138,10 @@ class GlobalCoordinator:
     def _on_stats(self, message: Message) -> None:
         report: StatsReport = message.payload
         self.latest[report.machine] = report
+        if self.recovery is not None:
+            self.recovery.note_report(
+                report.machine, self.sim.now, getattr(report, "incarnation", 0)
+            )
 
     # ------------------------------------------------------------------
     # Periodic evaluation (Algorithms 1-2, "events at GC")
@@ -135,6 +150,19 @@ class GlobalCoordinator:
         """``process_stats(); calculate_cluster_load(); ...`` — one pass of
         the GC decision loop."""
         self.stats.evaluations += 1
+        if self.recovery is not None:
+            self.recovery.tick(self.sim.now, self.latest)
+            for machine in self.recovery.dead:
+                self.latest.pop(machine, None)
+            if (
+                self.session is not None
+                and not self.session.terminal
+                and {self.session.sender, self.session.receiver} & self.recovery.dead
+            ):
+                self._abort_session()
+            if self.recovery.active:
+                # all other adaptations are deferred while a recovery runs
+                return
         if self.session is not None and not self.session.terminal:
             return
         reports = [self.latest.get(w) for w in self.workers]
@@ -200,6 +228,78 @@ class GlobalCoordinator:
             return
         self.stats.forced_spills += 1
         self._send(min_report.machine, "start_ss", ForcedSpillRequest(amount=amount))
+
+    def _abort_session(self) -> None:
+        """Abort the in-flight relocation because a participant died.
+
+        What happens to the moving partitions depends on how far the
+        protocol got when the *receiver* died (the sender is alive):
+
+        * ``cptv_sent`` / ``pausing`` — the transfer request is only sent
+          once every split acked the pause, so the state never left the
+          sender: ``remap`` the paused partitions straight back and send
+          ``abort_transfer`` so the sender drops its marker/cptv
+          bookkeeping instead of idling in relocation mode forever.
+        * ``transferring`` — the sender may already have evicted the
+          groups towards the dead receiver; fold them into the active
+          recovery session (:meth:`RecoveryManager.adopt_relocation`),
+          which cancels a still-pending pack and otherwise restores them
+          from the hand-off checkpoint entries.
+        * ``remapping`` — the partitions already route to the dead
+          receiver, so the recovery session's own ``pause_owned`` sweep
+          picks them up; remapping them back to the sender would resume
+          tuple flow into state the sender no longer holds.
+
+        If the *sender* died, the partitions are left paused in every
+        phase: they route to the dead machine, so recovery re-homes and
+        resumes them — flushing them here would forward tuples to a dead
+        machine and lose them.
+        """
+        session = self.session
+        assert session is not None
+        phase_reached = session.phase
+        sender_dead = self.recovery is not None and session.sender in self.recovery.dead
+        adopted = False
+        if not sender_dead:
+            if phase_reached in ("cptv_sent", "pausing"):
+                if session.partition_ids:
+                    for host in session.split_hosts:
+                        self._send(
+                            host,
+                            "remap",
+                            RemapRequest(
+                                partition_ids=session.partition_ids,
+                                new_owner=session.sender,
+                            ),
+                        )
+                # fire-and-forget: nothing gates on this ack
+                self._send(
+                    session.sender,
+                    "abort_transfer",
+                    AbortTransferRequest(
+                        partition_ids=session.partition_ids,
+                        receiver=session.receiver,
+                    ),
+                )
+            elif phase_reached == "transferring":
+                adopted = self.recovery.adopt_relocation(
+                    sender=session.sender,
+                    receiver=session.receiver,
+                    partition_ids=session.partition_ids,
+                )
+        session.advance("aborted")
+        session.completed_at = self.sim.now
+        self.stats.relocations_aborted += 1
+        self.metrics.events.record(
+            self.sim.now,
+            "relocation_aborted",
+            session.sender,
+            receiver=session.receiver,
+            phase_reached=phase_reached,
+            partition_ids=session.partition_ids,
+            adopted=adopted,
+        )
+        self.session = None
 
     # ------------------------------------------------------------------
     # Relocation protocol steps (GC side)

@@ -51,6 +51,9 @@ class StatsReport:
     group_count: int
     queue_depth: int
     sent_at: float
+    #: bumped by every crash of the reporting engine; lets the failure
+    #: detector notice a crash+restart that happened between heartbeats
+    incarnation: int = 0
 
 
 @dataclass(frozen=True)

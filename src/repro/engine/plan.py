@@ -223,6 +223,7 @@ class Deployment:
             self.metrics,
             record_inputs=record_inputs,
             transforms=input_transforms,
+            keep_replay_log=config.checkpoint_enabled,
         )
         self.coordinator = GlobalCoordinator(
             self.sim,
@@ -233,6 +234,49 @@ class Deployment:
             workers=workers,
             split_hosts=[SOURCE_NAME],
         )
+
+        # --- crash-fault tolerance (repro.recovery, opt-in) ---------------
+        self.registry = None
+        self.recovery = None
+        if config.checkpoint_enabled:
+            from repro.recovery import (
+                CheckpointManager,
+                CheckpointStore,
+                RecoveryManager,
+            )
+
+            self.registry = CheckpointStore(disks=self.disks)
+            for i, name in enumerate(workers):
+                peer = workers[(i + 1) % len(workers)] if len(workers) > 1 else None
+                engine = self.engines[name]
+                engine.attach_checkpointer(
+                    CheckpointManager(
+                        self.sim,
+                        self.network,
+                        self.machines[name],
+                        self.disks[name],
+                        self.instances[name].store,
+                        self.registry,
+                        config,
+                        self.cost,
+                        self.metrics,
+                        source_name=SOURCE_NAME,
+                        peer=peer,
+                        on_flush=engine.flush_outputs,
+                    )
+                )
+            self.recovery = RecoveryManager(
+                self.sim,
+                self.network,
+                self.metrics,
+                self.registry,
+                config,
+                self.cost,
+                workers=workers,
+                split_hosts=[SOURCE_NAME],
+                name=self.coordinator.name,
+            )
+            self.coordinator.attach_recovery(self.recovery)
 
         # --- sources ------------------------------------------------------
         self.sources = [
@@ -293,6 +337,13 @@ class Deployment:
             source.stop()
         if drain:
             self.sim.run()
+            if self.config.checkpoint_enabled:
+                # Release outputs still buffered behind the last checkpoint:
+                # end-of-run is a clean shutdown, not a crash, so everything
+                # produced is safe to emit.
+                for engine in self.engines.values():
+                    engine.flush_outputs()
+                self.sim.run()  # drain any shipped result batches
             self._sample()  # final quiesced observation (post-drain tail)
         self._finished = True
 
@@ -344,6 +395,14 @@ class Deployment:
     @property
     def relocation_count(self) -> int:
         return self.metrics.events.count("relocation")
+
+    @property
+    def recovery_count(self) -> int:
+        return self.metrics.events.count("recovery")
+
+    @property
+    def checkpoint_count(self) -> int:
+        return self.metrics.events.count("checkpoint")
 
     @property
     def spill_count(self) -> int:

@@ -49,9 +49,23 @@ from repro.core.relocation import (
 )
 from repro.core.spill import SpillExecutor, SpillOutcome
 from repro.engine.operators.mjoin import MJoinInstance
+from repro.recovery.protocol import (
+    AbortTransferRequest,
+    OwnedPausedAck,
+    PauseOwnedRequest,
+    RecoverRouteRequest,
+    RerouteAck,
+    RestoredAck,
+    RestoreRequest,
+    TransferAborted,
+    TrimRequest,
+)
 from repro.engine.operators.split import Split
 from repro.engine.streams import OutputCollector
 from repro.engine.tuples import StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.checkpoint import CheckpointManager
 
 MODE_NORMAL = "normal"
 MODE_SS = "ss_mode"
@@ -100,10 +114,23 @@ class QueryEngine:
         )
         self._pending_cptv: CptvRequest | None = None
         self._pending_transfer: TransferRequest | None = None
+        #: the transfer whose pack task is submitted; an ``abort_transfer``
+        #: clears it, turning a queued-but-not-started pack into a no-op
+        self._active_transfer: TransferRequest | None = None
         self._markers_seen: set[str] = set()
         self._outputs_reported = 0
         self._ss_timer: Timer | None = None
         self._stats_timer: Timer | None = None
+        # --- crash-fault state (repro.recovery) ------------------------
+        self.alive = True
+        self.incarnation = 0
+        self.crashes = 0
+        self.messages_dropped = 0
+        #: set via attach_checkpointer when checkpointing is enabled;
+        #: its presence switches the engine to output-commit-at-checkpoint
+        self.checkpointer: "CheckpointManager | None" = None
+        self._output_buffer: list = []
+        self._output_buffer_count = 0
         network.register(machine.name, self.deliver)
 
     @property
@@ -122,6 +149,8 @@ class QueryEngine:
         self._stats_timer = Timer(
             self.sim, self.config.stats_interval, self._report_stats
         )
+        if self.checkpointer is not None:
+            self.checkpointer.start()
 
     def stop(self) -> None:
         for timer in (self._ss_timer, self._stats_timer):
@@ -129,11 +158,63 @@ class QueryEngine:
                 timer.stop()
         self._ss_timer = None
         self._stats_timer = None
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
+
+    def attach_checkpointer(self, checkpointer: "CheckpointManager") -> None:
+        """Enable durable commits: outputs are buffered and released only
+        when the state that produced them has been checkpointed."""
+        self.checkpointer = checkpointer
+
+    # ------------------------------------------------------------------
+    # Crash faults (repro.recovery)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: lose in-memory state, in-flight work, and buffered
+        outputs; ignore the network until :meth:`restart`."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.incarnation += 1
+        self.crashes += 1
+        self.stop()
+        self.machine.crash()
+        bytes_lost = self.instance.store.crash_reset()
+        outputs_lost = self._output_buffer_count
+        self._output_buffer = []
+        self._output_buffer_count = 0
+        self._pending_cptv = None
+        self._pending_transfer = None
+        self._active_transfer = None
+        self._markers_seen.clear()
+        self.mode = MODE_NORMAL
+        self.metrics.events.record(
+            self.sim.now,
+            "crash",
+            self.name,
+            bytes_lost=bytes_lost,
+            outputs_lost=outputs_lost,
+        )
+
+    def restart(self) -> None:
+        """Rejoin the cluster empty.  Must happen *during* the run (timers
+        re-arm) and — for exactly-once — after the coordinator finished
+        recovering this machine's partitions (see DESIGN.md)."""
+        if self.alive:
+            return
+        self.alive = True
+        if self.checkpointer is not None:
+            self.checkpointer.reset()
+        self.start()
+        self.metrics.events.record(self.sim.now, "restart", self.name)
 
     # ------------------------------------------------------------------
     # Network dispatch
     # ------------------------------------------------------------------
     def deliver(self, message: Message) -> None:
+        if not self.alive:
+            self.messages_dropped += 1
+            return
         handler = getattr(self, f"_on_{message.kind}", None)
         if handler is None:
             raise ValueError(
@@ -163,7 +244,14 @@ class QueryEngine:
         duration = len(batch) * self.cost.probe_cost + total * self.cost.result_cost
 
         def finish() -> None:
-            if self.app_server is not None and total:
+            if self.checkpointer is not None:
+                # Output-commit-at-checkpoint: results stay buffered until
+                # the state that produced them is durable, so a crash can
+                # never have released results it cannot regenerate.
+                self._output_buffer_count += total
+                if collected:
+                    self._output_buffer.extend(collected)
+            elif self.app_server is not None and total:
                 from repro.engine.app_server import RESULT_WIRE_BYTES
 
                 self.network.send(
@@ -175,6 +263,25 @@ class QueryEngine:
                                    source=self.name)
 
         return duration, finish
+
+    def flush_outputs(self) -> None:
+        """Release buffered results downstream (runs at durable commits
+        and once at end of run)."""
+        total = self._output_buffer_count
+        if not total:
+            return
+        collected = self._output_buffer
+        self._output_buffer = []
+        self._output_buffer_count = 0
+        if self.app_server is not None:
+            from repro.engine.app_server import RESULT_WIRE_BYTES
+
+            self.network.send(
+                self.name, self.app_server, "results",
+                (total, collected), RESULT_WIRE_BYTES * total,
+            )
+        else:
+            self.collector.add(total, collected, self.sim.now, source=self.name)
 
     # ------------------------------------------------------------------
     # ss_timer: local spill check (Algorithm 1 lines 24-32)
@@ -211,6 +318,11 @@ class QueryEngine:
             self._send_gc(
                 "ss_done", ForcedSpillDone(self.name, outcome.bytes_spilled)
             )
+        if self.checkpointer is not None and outcome.bytes_spilled:
+            # The disk segment is now the durable copy of the evicted
+            # groups: commit so the registry drops their stale snapshots
+            # and the source log is trimmed of the segment's tuples.
+            self.checkpointer.commit("spill")
         self._resume_pending_cptv()
 
     # ------------------------------------------------------------------
@@ -270,14 +382,20 @@ class QueryEngine:
         if not set(transfer.marker_hosts) <= self._markers_seen:
             return
         self._pending_transfer = None
+        self._active_transfer = transfer
         self._markers_seen.clear()
 
         def begin():
+            if self._active_transfer is not transfer:
+                # the transfer was aborted (receiver died) while this pack
+                # waited in the queue: leave the state untouched
+                return 0.0, (lambda: None)
             frozen = self.instance.store.evict(transfer.partition_ids)
             total = sum(f.size_bytes for f in frozen)
             duration = total * self.cost.serialize_cost_per_byte
 
-            def finish() -> None:
+            def send_state() -> None:
+                self._active_transfer = None
                 self.network.send(
                     self.name,
                     transfer.receiver,
@@ -291,11 +409,60 @@ class QueryEngine:
                 )
                 self.mode = MODE_NORMAL
 
-            return duration, finish
+            if self.checkpointer is not None and frozen:
+                # Hand-off commit: the evicted groups are written durably
+                # and this machine's buffered results released *before*
+                # the state may leave.  The transfer ships from the
+                # commit's tail — otherwise a crash here after the
+                # receiver installed (and trimmed the replay log) would
+                # strand the pre-eviction results that still sat in our
+                # output buffer, with the replayable suffix gone.
+                self.checkpointer.commit(
+                    "handoff", handoff=frozen, on_committed=send_state
+                )
+                return duration, (lambda: None)
+            return duration, send_state
 
         # Data priority: queues behind every already-delivered tuple batch,
         # so pre-pause tuples are probed against the state before it leaves.
         self.machine.submit(DynamicTask(begin, label="pack_state"))
+
+    def _on_abort_transfer(self, message: Message) -> None:
+        """The receiver of an in-flight relocation died: cancel any
+        hand-off that has not evicted yet and leave relocation mode.
+
+        Runs as a control-priority machine task so it serialises with the
+        pack: a queued pack is cancelled before it evicts, while a pack
+        already in service finishes first — including its hand-off commit,
+        which registers the durable entries the recovery planner will
+        restore from before the ack below can reach the coordinator.
+        """
+        request: AbortTransferRequest = message.payload
+        del request  # routing only; the abort applies to whatever is pending
+
+        def begin():
+            def finish() -> None:
+                cancelled = (
+                    self._pending_transfer is not None
+                    or self._active_transfer is not None
+                    or bool(self._markers_seen)
+                )
+                self._pending_transfer = None
+                self._active_transfer = None
+                self._pending_cptv = None
+                self._markers_seen.clear()
+                if self.mode == MODE_SR:
+                    self.mode = MODE_NORMAL
+                self._send_gc(
+                    "transfer_aborted",
+                    TransferAborted(machine=self.name, cancelled=cancelled),
+                )
+
+            return 0.0, finish
+
+        self.machine.submit(
+            DynamicTask(begin, priority=PRIORITY_CONTROL, label="abort_transfer")
+        )
 
     # ------------------------------------------------------------------
     # Relocation protocol, receiver side
@@ -309,6 +476,10 @@ class QueryEngine:
             def finish() -> None:
                 for frozen in transfer.groups:
                     self.instance.store.install(frozen, now=self.sim.now)
+                if self.checkpointer is not None:
+                    # Install commit: make the received state durable at its
+                    # new home (supersedes the sender's hand-off entries).
+                    self.checkpointer.commit("install")
                 self._send_gc(
                     "installed",
                     InstalledAck(
@@ -325,6 +496,48 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------
+    # Recovery protocol, restore-target side
+    # ------------------------------------------------------------------
+    def _on_restore(self, message: Message) -> None:
+        request: RestoreRequest = message.payload
+
+        def begin():
+            duration = 0.0
+            for entry in request.entries:
+                if self.checkpointer is not None:
+                    duration += self.checkpointer.registry.restore_read_duration(
+                        entry
+                    )
+                duration += entry.size_bytes * self.cost.serialize_cost_per_byte
+
+            def finish() -> None:
+                for entry in request.entries:
+                    self.instance.store.install(entry.frozen, now=self.sim.now)
+                if self.checkpointer is not None:
+                    # the restored groups are durable again at their new home
+                    self.checkpointer.commit("restore")
+                self._send_gc(
+                    "restored",
+                    RestoredAck(
+                        machine=self.name,
+                        partition_ids=request.partition_ids,
+                        total_bytes=request.total_bytes,
+                    ),
+                )
+
+            return duration, finish
+
+        self.machine.submit(
+            DynamicTask(begin, priority=PRIORITY_CONTROL, label="restore_state")
+        )
+
+    def _on_ckpt(self, message: Message) -> None:
+        """Peer-target checkpoint bytes landing on this machine's disk."""
+        nbytes: int = message.payload
+        self.disk.stats.bytes_written += nbytes
+        self.disk.stats.writes += 1
+
+    # ------------------------------------------------------------------
     # Statistics reporting (sr_timer at the QE)
     # ------------------------------------------------------------------
     def _report_stats(self) -> None:
@@ -339,6 +552,7 @@ class QueryEngine:
             group_count=self.instance.store.group_count,
             queue_depth=self.machine.queue_depth,
             sent_at=self.sim.now,
+            incarnation=self.incarnation,
         )
         self._send_gc("stats", report)
 
@@ -370,6 +584,7 @@ class SourceHost:
         coordinator_name: str = GC_NAME,
         record_inputs: bool = False,
         transforms: dict[str, list] | None = None,
+        keep_replay_log: bool = False,
     ) -> None:
         if not splits:
             raise ValueError("source host needs at least one split")
@@ -394,6 +609,13 @@ class SourceHost:
         self.inputs: list[StreamTuple] = []
         self.tuples_routed = 0
         self.tuples_dropped = 0
+        #: upstream backup (repro.recovery): per-partition log of forwarded
+        #: tuples, trimmed as workers report durable coverage — at any
+        #: instant it holds exactly the input suffix a recovery must replay
+        self.keep_replay_log = keep_replay_log
+        self._replay_log: dict[int, list[StreamTuple]] = {}
+        self.replayed_total = 0
+        self.trimmed_total = 0
         network.register(machine.name, self.deliver)
 
     @property
@@ -438,7 +660,12 @@ class SourceHost:
 
         self.machine.submit(DynamicTask(begin, label=f"split:{stream}"))
 
-    def _forward(self, routed: list[tuple[str, int, StreamTuple]]) -> None:
+    def _forward(
+        self, routed: list[tuple[str, int, StreamTuple]], *, record: bool = True
+    ) -> None:
+        if self.keep_replay_log and record:
+            for __, pid, tup in routed:
+                self._replay_log.setdefault(pid, []).append(tup)
         by_owner: dict[str, list[tuple[int, StreamTuple]]] = {}
         for owner, pid, tup in routed:
             by_owner.setdefault(owner, []).append((pid, tup))
@@ -478,6 +705,77 @@ class SourceHost:
         if flushed:
             self._forward(flushed)
         self._send_gc("resumed", ResumeAck(host=self.name))
+
+    # ------------------------------------------------------------------
+    # Recovery protocol (split-host side, repro.recovery)
+    # ------------------------------------------------------------------
+    def _on_trim(self, message: Message) -> None:
+        """Drop replay-log entries now covered by a worker's durable state."""
+        request: TrimRequest = message.payload
+        for pid, covered in request.covered.items():
+            log = self._replay_log.get(pid)
+            if not log:
+                continue
+            kept = [t for t in log if t.ident not in covered]
+            self.trimmed_total += len(log) - len(kept)
+            if kept:
+                self._replay_log[pid] = kept
+            else:
+                del self._replay_log[pid]
+
+    def _on_pause_owned(self, message: Message) -> None:
+        """Buffer every partition routed to the (presumed dead) machine."""
+        request: PauseOwnedRequest = message.payload
+        pids: set[int] = set()
+        for split in self.splits.values():
+            pids.update(split.partition_map.partitions_of(request.machine))
+        for split in self.splits.values():
+            split.pause(pids)
+        self._send_gc(
+            "owned_paused",
+            OwnedPausedAck(
+                host=self.name,
+                machine=request.machine,
+                partition_ids=tuple(sorted(pids)),
+            ),
+        )
+
+    def _on_recover_route(self, message: Message) -> None:
+        """Remap lost partitions to their new owners, flush the buffered
+        tuples, and replay the input suffix not covered by the restored
+        snapshots."""
+        request: RecoverRouteRequest = message.payload
+        # Snapshot the log *before* flushing: buffered tuples enter the log
+        # on forward and must not also be treated as replayable history.
+        suffix = {
+            pid: tuple(self._replay_log.get(pid, ()))
+            for pid, __ in request.assignments
+        }
+        flushed: list[tuple[str, int, StreamTuple]] = []
+        for pid, owner in request.assignments:
+            for split in self.splits.values():
+                for p, o, tup in split.resume([pid], owner):
+                    flushed.append((o, p, tup))
+        if flushed:
+            self._forward(flushed)
+        resident = set(request.resident)
+        replay: list[tuple[str, int, StreamTuple]] = []
+        for pid, owner in request.assignments:
+            if pid in resident:
+                # The owner already holds the live group and processed
+                # every forwarded tuple — replay would duplicate results.
+                continue
+            covered = request.restored.get(pid, frozenset())
+            for tup in suffix[pid]:
+                if tup.ident not in covered:
+                    replay.append((owner, pid, tup))
+        if replay:
+            # Replayed tuples are already in the log — do not re-record.
+            self._forward(replay, record=False)
+        self.replayed_total += len(replay)
+        self._send_gc(
+            "rerouted", RerouteAck(host=self.name, tuples_replayed=len(replay))
+        )
 
     def _send_gc(self, kind: str, payload) -> None:
         self.network.send(

@@ -45,6 +45,11 @@ class StateStore:
         self.total_bytes = 0
         self.outputs_total = 0
         self.tuples_processed = 0
+        #: Per-partition mutation counters.  The checkpoint subsystem's
+        #: incremental mode snapshots only groups whose counter moved since
+        #: their last snapshot; counters vanish with their group on evict or
+        #: crash, so a re-created group always reads as dirty.
+        self.mutations: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Group access
@@ -94,6 +99,7 @@ class StateStore:
         self.total_bytes += tup.size
         self.outputs_total += count
         self.tuples_processed += 1
+        self.mutations[pid] = self.mutations.get(pid, 0) + 1
         return count, results
 
     # ------------------------------------------------------------------
@@ -117,6 +123,7 @@ class StateStore:
             self._next_generation[pid] = grp.generation + 1
             self.machine.release(grp.size_bytes)
             self.total_bytes -= grp.size_bytes
+            self.mutations.pop(pid, None)
         return frozen
 
     def install(self, frozen: FrozenPartitionGroup, *, now: float = 0.0) -> PartitionGroup:
@@ -133,6 +140,7 @@ class StateStore:
         self.machine.allocate(grp.size_bytes)
         self.total_bytes += grp.size_bytes
         self.outputs_total += 0  # installs carry no new outputs
+        self.mutations[frozen.pid] = self.mutations.get(frozen.pid, 0) + 1
         return grp
 
     # ------------------------------------------------------------------
@@ -156,3 +164,23 @@ class StateStore:
         """Non-destructive snapshot of one live group (test helper)."""
         grp = self._groups.get(pid)
         return None if grp is None else grp.freeze()
+
+    # ------------------------------------------------------------------
+    # Crash support
+    # ------------------------------------------------------------------
+    def crash_reset(self) -> int:
+        """Drop every live group after a machine crash; returns bytes lost.
+
+        Unlike :meth:`evict` this does **not** release memory back to the
+        machine — :meth:`Machine.crash` has already zeroed the whole
+        account.  Generation counters advance so that state re-created or
+        restored after the crash never collides with pre-crash snapshots
+        in the cleanup merge order.
+        """
+        lost = self.total_bytes
+        for pid, grp in self._groups.items():
+            self._next_generation[pid] = grp.generation + 1
+        self._groups.clear()
+        self.mutations.clear()
+        self.total_bytes = 0
+        return lost

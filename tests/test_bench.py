@@ -158,3 +158,36 @@ class TestCli:
         content = path.read_text().splitlines()
         assert content[0].startswith("time_s,outputs,memory_m1")
         assert len(content) > 2
+
+    def test_json_export(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.bench.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        main([
+            "--strategy", "all_memory", "--workers", "1",
+            "--minutes", "0.2", "--partitions", "8",
+            "--tuple-range", "240", "--interarrival-ms", "50",
+            "--no-cleanup", "--json",
+        ])
+        path = tmp_path / "benchmarks" / "results" / "BENCH_all_memory.json"
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data["strategy"] == "all_memory"
+        assert data["runtime_outputs"] > 0
+        assert len(data["series"]["times"]) == len(data["series"]["outputs"])
+        assert "written to" in capsys.readouterr().out
+
+    def test_json_export_custom_name(self, tmp_path, monkeypatch):
+        from repro.bench.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        main([
+            "--strategy", "all_memory", "--workers", "1",
+            "--minutes", "0.2", "--partitions", "8",
+            "--tuple-range", "240", "--interarrival-ms", "50",
+            "--no-cleanup", "--json", "--name", "myrun",
+        ])
+        assert (tmp_path / "benchmarks" / "results"
+                / "BENCH_myrun.json").exists()
