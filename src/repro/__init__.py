@@ -46,6 +46,7 @@ from repro.core.strategies import (
 from repro.engine.pipeline import PipelineDeployment, PipelineStage
 from repro.engine.plan import Deployment
 from repro.engine.tuples import JoinResult, Schema, StreamTuple
+from repro.obs import InvariantChecker, Tracer, check_trace
 
 __version__ = "1.0.0"
 
@@ -55,6 +56,7 @@ __all__ = [
     "CheckpointTarget",
     "CostModel",
     "Deployment",
+    "InvariantChecker",
     "JoinResult",
     "PipelineDeployment",
     "PipelineStage",
@@ -64,8 +66,10 @@ __all__ = [
     "StrategyName",
     "StrategyProfile",
     "StreamTuple",
+    "Tracer",
     "__version__",
     "active_disk_config",
     "baseline_config",
+    "check_trace",
     "lazy_disk_config",
 ]

@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--name", default=None,
                         help="result-file name for --json "
                              "(default: the strategy name)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a structured adaptation trace and "
+                             "write it as JSONL to PATH")
+    parser.add_argument("--trace-chrome", metavar="PATH", default=None,
+                        help="also write the trace in Chrome trace_event "
+                             "format (chrome://tracing / Perfetto) to PATH")
     parser.add_argument("--list", action="store_true",
                         help="list strategies and spill policies, then exit")
     return parser
@@ -84,6 +90,12 @@ def main(argv: list[str] | None = None) -> int:
         print("strategies:     " + ", ".join(s.value for s in StrategyName))
         print("spill policies: " + ", ".join(p.value for p in SpillPolicyName))
         return 0
+
+    tracer = None
+    if args.trace or args.trace_chrome:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
 
     workers = [f"m{i + 1}" for i in range(args.workers)]
     duration = args.minutes * 60.0
@@ -111,7 +123,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
         with_cleanup=not args.no_cleanup,
         seed=args.seed,
+        tracer=tracer,
     )
+
+    if tracer is not None:
+        if args.trace:
+            tracer.write_jsonl(args.trace)
+            print(f"[trace written to {args.trace}]")
+        if args.trace_chrome:
+            tracer.write_chrome(args.trace_chrome)
+            print(f"[chrome trace written to {args.trace_chrome}]")
 
     times = sample_times(duration, sample_interval)
     print(series_table({"outputs": result.outputs}, times))

@@ -1,7 +1,16 @@
-"""Experiment runner shared by all benchmarks."""
+"""Experiment runner shared by all benchmarks.
+
+Setting ``REPRO_TRACE=check`` in the environment makes every
+:func:`run_experiment` call record a structured adaptation trace and
+assert the protocol invariants (:mod:`repro.obs`) after the run — the
+whole figure suite can be audited with::
+
+    REPRO_TRACE=check pytest benchmarks/ --benchmark-only
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.cleanup import CleanupReport
@@ -59,6 +68,7 @@ def run_experiment(
     with_cleanup: bool = False,
     join=None,
     seed: int = 11,
+    tracer=None,
 ) -> RunResult:
     """Build, run, and optionally clean up one configuration.
 
@@ -66,6 +76,12 @@ def run_experiment(
     experiments share identical wiring and differ only in their declared
     parameters.
     """
+    check_invariants = False
+    if tracer is None and os.environ.get("REPRO_TRACE") == "check":
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        check_invariants = True
     overrides = dict(
         memory_threshold=memory_threshold,
         ss_interval=5.0,
@@ -84,11 +100,21 @@ def run_experiment(
         assignment=assignment,
         batch_size=batch_size,
         seed=seed,
+        tracer=tracer,
     )
     deployment.run(duration=duration, sample_interval=sample_interval)
     result = RunResult(label=label, deployment=deployment)
     if with_cleanup:
         result.cleanup = deployment.cleanup()
+    if check_invariants:
+        from repro.obs import check_trace
+
+        violations = check_trace(tracer.events)
+        if violations:
+            lines = "\n".join(f"  {v}" for v in violations)
+            raise AssertionError(
+                f"trace invariant violations in {label!r}:\n{lines}"
+            )
     return result
 
 

@@ -129,12 +129,21 @@ class EventLog:
 
 
 class MetricsHub:
-    """Named-series registry plus the shared adaptation event log."""
+    """Named-series registry plus the shared adaptation event log.
+
+    Also carries the deployment's :class:`~repro.obs.trace.Tracer` (the
+    shared no-op :data:`~repro.obs.trace.NULL_TRACER` unless a run opts
+    in) so any component holding the hub can emit structured trace
+    events without extra plumbing.
+    """
 
     def __init__(self) -> None:
+        from repro.obs.trace import NULL_TRACER
+
         self._series: dict[str, TimeSeries] = {}
         self.events = EventLog()
         self.counters: dict[str, float] = {}
+        self.tracer = NULL_TRACER
 
     def series(self, name: str) -> TimeSeries:
         """Get (creating on first use) the series called ``name``."""

@@ -37,6 +37,7 @@ from repro.cluster.disk import Disk, SpillSegment
 from repro.core.config import CostModel
 from repro.engine.partitions import FrozenPartitionGroup
 from repro.engine.tuples import JoinResult, StreamTuple
+from repro.obs.trace import NULL_TRACER
 
 
 def _part_counts(part: FrozenPartitionGroup) -> dict[str, dict[int, int]]:
@@ -209,13 +210,17 @@ class CleanupExecutor:
     """
 
     def __init__(self, streams: Sequence[str], cost: CostModel,
-                 *, window: float | None = None) -> None:
+                 *, window: float | None = None, tracer=None,
+                 stage: str = "") -> None:
         self.streams = tuple(streams)
         self.cost = cost
         #: window of the owning join; a windowed cleanup must filter
         #: combinations by timestamp distance, so counting falls back to
         #: materialisation internally
         self.window = window
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: pipeline stage label carried in trace events ("" when flat)
+        self.stage = stage
 
     def run(
         self,
@@ -237,6 +242,10 @@ class CleanupExecutor:
             Produce actual :class:`JoinResult` objects (correctness mode).
         """
         report = CleanupReport()
+        tracer = self.tracer
+        span = 0
+        if tracer.enabled:
+            span = tracer.begin_span("cleanup", stage=self.stage)
         # 1. organise segments by partition ID across all machines
         by_pid: dict[int, list[SpillSegment]] = {}
         for disk in disks.values():
@@ -269,6 +278,11 @@ class CleanupExecutor:
                 if mem_part.tuple_count > 0:
                     parts.append(mem_part)
             if len(parts) < 2:
+                if span:
+                    tracer.event(
+                        "cleanup.skip", span=span, pid=pid,
+                        stage=self.stage, segments=len(segments),
+                    )
                 continue
             # 2-3. incremental merge producing the missing results
             if materialize:
@@ -292,4 +306,16 @@ class CleanupExecutor:
             report.missing_results += count
             report.partitions_merged += 1
             report.segments_merged += len(segments)
+            if span:
+                tracer.event(
+                    "cleanup.merge", machine=owner, span=span, pid=pid,
+                    stage=self.stage, segments=len(segments),
+                    parts=len(parts), results=count,
+                )
+        if span:
+            tracer.end_span(
+                span,
+                partitions=report.partitions_merged,
+                results=report.missing_results,
+            )
         return report

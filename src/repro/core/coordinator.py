@@ -30,6 +30,7 @@ from repro.core.config import AdaptationConfig, CostModel
 from repro.core.productivity import machine_productivity_rate
 from repro.recovery.protocol import AbortTransferRequest
 from repro.core.relocation import (
+    STEP_NAMES,
     CptvRequest,
     ForcedSpillDone,
     ForcedSpillRequest,
@@ -195,8 +196,35 @@ class GlobalCoordinator:
             split_hosts=tuple(self.split_hosts),
             started_at=self.sim.now,
         )
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            self.session.trace_span = tracer.begin_span(
+                "relocation",
+                machine=self.name,
+                src=max_report.machine,
+                dst=min_report.machine,
+                amount=amount,
+            )
+        self._trace_step(self.session, 1)
         self._send(max_report.machine, "cptv", CptvRequest(amount=amount))
         return True
+
+    def _trace_step(self, session: RelocationSession, step: int, **fields) -> None:
+        tracer = self.metrics.tracer
+        if tracer.enabled and session.trace_span:
+            tracer.event(
+                "relocation.step",
+                machine=self.name,
+                span=session.trace_span,
+                step=step,
+                step_name=STEP_NAMES[step],
+                **fields,
+            )
+
+    def _trace_end(self, session: RelocationSession, status: str, **fields) -> None:
+        tracer = self.metrics.tracer
+        if tracer.enabled and session.trace_span:
+            tracer.end_span(session.trace_span, status=status, **fields)
 
     def _try_forced_spill(self, reports: list[StatsReport]) -> None:
         if self.stats.forced_spill_bytes >= self.config.forced_spill_cap:
@@ -260,9 +288,11 @@ class GlobalCoordinator:
         phase_reached = session.phase
         sender_dead = self.recovery is not None and session.sender in self.recovery.dead
         adopted = False
+        remapped_back = False
         if not sender_dead:
             if phase_reached in ("cptv_sent", "pausing"):
                 if session.partition_ids:
+                    remapped_back = True
                     for host in session.split_hosts:
                         self._send(
                             host,
@@ -270,6 +300,7 @@ class GlobalCoordinator:
                             RemapRequest(
                                 partition_ids=session.partition_ids,
                                 new_owner=session.sender,
+                                trace_span=session.trace_span,
                             ),
                         )
                 # fire-and-forget: nothing gates on this ack
@@ -299,6 +330,17 @@ class GlobalCoordinator:
             partition_ids=session.partition_ids,
             adopted=adopted,
         )
+        self._trace_end(
+            session,
+            "aborted",
+            phase_reached=phase_reached,
+            adopted=adopted,
+            # splits stay paused for the recovery session to resume: the
+            # pause/flush invariant is discharged there, not here
+            pause_handoff=(
+                phase_reached in ("pausing", "transferring") and not remapped_back
+            ),
+        )
         self.session = None
 
     # ------------------------------------------------------------------
@@ -312,17 +354,26 @@ class GlobalCoordinator:
         if not parts.partition_ids:
             session.advance("aborted")
             self.stats.relocations_aborted += 1
+            self._trace_end(session, "aborted", reason="no_parts")
             self.session = None
             return
         session.partition_ids = parts.partition_ids
         session.state_bytes = parts.total_bytes
+        self._trace_step(
+            session, 2, pids=parts.partition_ids, bytes=parts.total_bytes
+        )
         session.advance("pausing")
         session.pending_pause_acks = set(session.split_hosts)
+        self._trace_step(session, 3, hosts=session.split_hosts)
         for host in session.split_hosts:
             self._send(
                 host,
                 "pause",
-                PauseRequest(partition_ids=parts.partition_ids, sender=session.sender),
+                PauseRequest(
+                    partition_ids=parts.partition_ids,
+                    sender=session.sender,
+                    trace_span=session.trace_span,
+                ),
             )
 
     def _on_paused(self, message: Message) -> None:
@@ -333,7 +384,9 @@ class GlobalCoordinator:
         session.pending_pause_acks.discard(ack.host)
         if session.pending_pause_acks:
             return
+        self._trace_step(session, 4)
         session.advance("transferring")
+        self._trace_step(session, 5, receiver=session.receiver)
         self._send(
             session.sender,
             "transfer",
@@ -341,6 +394,7 @@ class GlobalCoordinator:
                 partition_ids=session.partition_ids,
                 receiver=session.receiver,
                 marker_hosts=session.split_hosts,
+                trace_span=session.trace_span,
             ),
         )
 
@@ -350,14 +404,18 @@ class GlobalCoordinator:
         if session is None:
             return
         session.state_bytes = ack.total_bytes
+        self._trace_step(session, 6, bytes=ack.total_bytes)
         session.advance("remapping")
         session.pending_resume_acks = set(session.split_hosts)
+        self._trace_step(session, 7, new_owner=session.receiver)
         for host in session.split_hosts:
             self._send(
                 host,
                 "remap",
                 RemapRequest(
-                    partition_ids=session.partition_ids, new_owner=session.receiver
+                    partition_ids=session.partition_ids,
+                    new_owner=session.receiver,
+                    trace_span=session.trace_span,
                 ),
             )
 
@@ -369,6 +427,7 @@ class GlobalCoordinator:
         session.pending_resume_acks.discard(ack.host)
         if session.pending_resume_acks:
             return
+        self._trace_step(session, 8)
         session.advance("done")
         session.completed_at = self.sim.now
         self.last_relocation_time = self.sim.now
@@ -382,6 +441,7 @@ class GlobalCoordinator:
             partition_ids=session.partition_ids,
             duration=session.duration,
         )
+        self._trace_end(session, "done", bytes=session.state_bytes)
         self.session = None
 
     def _on_ss_done(self, message: Message) -> None:

@@ -85,6 +85,10 @@ class PauseRequest:
 
     partition_ids: tuple[int, ...]
     sender: str
+    #: trace span of the relocation session this pause belongs to (0 when
+    #: tracing is disabled) — carried in the message so split hosts can
+    #: attribute their pause/flush events to the causing session.
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,7 @@ class TransferRequest:
     partition_ids: tuple[int, ...]
     receiver: str
     marker_hosts: tuple[str, ...]
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,6 +127,7 @@ class StateTransfer:
     partition_ids: tuple[int, ...]
     groups: tuple["FrozenPartitionGroup", ...]
     total_bytes: int
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,7 @@ class RemapRequest:
 
     partition_ids: tuple[int, ...]
     new_owner: str
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -172,6 +179,18 @@ class ForcedSpillDone:
 #: Session phases, in protocol order.
 PHASES = ("cptv_sent", "pausing", "transferring", "remapping", "done", "aborted")
 
+#: Human names of the 8 protocol steps, for trace events.
+STEP_NAMES = {
+    1: "cptv",
+    2: "ptv",
+    3: "pause",
+    4: "paused",
+    5: "transfer",
+    6: "installed",
+    7: "remap",
+    8: "resumed",
+}
+
 
 @dataclass
 class RelocationSession:
@@ -192,6 +211,8 @@ class RelocationSession:
     pending_pause_acks: set[str] = field(default_factory=set)
     pending_resume_acks: set[str] = field(default_factory=set)
     completed_at: float | None = None
+    #: id of this session's "relocation" trace span (0 = tracing disabled)
+    trace_span: int = 0
 
     def advance(self, phase: str) -> None:
         if phase not in PHASES:

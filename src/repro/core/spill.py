@@ -28,6 +28,7 @@ from repro.core.config import CostModel, SpillPolicyName
 from repro.core.productivity import CumulativeProductivity, ProductivityEstimator
 from repro.engine.partitions import PartitionGroup
 from repro.engine.state_store import StateStore
+from repro.obs.trace import NULL_TRACER
 
 
 class SpillPolicy(ABC):
@@ -146,11 +147,12 @@ class SpillExecutor:
     """
 
     def __init__(self, machine: Machine, disk: Disk, store: StateStore,
-                 cost: CostModel) -> None:
+                 cost: CostModel, *, tracer=None) -> None:
         self.machine = machine
         self.disk = disk
         self.store = store
         self.cost = cost
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.total_spilled_bytes = 0
         self.spill_count = 0
 
@@ -202,9 +204,21 @@ class SpillExecutor:
         )
         self.total_spilled_bytes += bytes_spilled
         self.spill_count += 1
+        span = 0
+        if self.tracer.enabled:
+            span = self.tracer.begin_span(
+                "spill",
+                machine=self.machine.name,
+                pids=outcome.partition_ids,
+                bytes=bytes_spilled,
+                forced=forced,
+                policy=str(policy.name.value),
+            )
 
         def _begin():
             def _finish():
+                if span:
+                    self.tracer.end_span(span, duration=duration)
                 if on_done is not None:
                     on_done(outcome)
 

@@ -101,6 +101,26 @@ def profile_of(config: AdaptationConfig) -> StrategyProfile:
     return STRATEGIES[config.strategy]
 
 
+def trace_strategy(tracer, config: AdaptationConfig) -> None:
+    """Record the run's armed strategy profile as a trace event.
+
+    Deployments call this once at wiring time so every trace is
+    self-describing: the invariant checker and a human reading the JSONL
+    both see which adaptation mechanisms were armed for the run.
+    """
+    if not tracer.enabled:
+        return
+    profile = profile_of(config)
+    tracer.event(
+        "strategy",
+        strategy=str(profile.name.value),
+        local_spill=profile.local_spill,
+        relocation=profile.relocation,
+        forced_spill=profile.forced_spill,
+        unbounded_memory=profile.unbounded_memory,
+    )
+
+
 def lazy_disk_config(**overrides) -> AdaptationConfig:
     """An :class:`AdaptationConfig` preset for the lazy-disk strategy."""
     return AdaptationConfig(strategy=StrategyName.LAZY_DISK, **overrides)

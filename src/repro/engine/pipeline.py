@@ -39,7 +39,7 @@ from repro.cluster.simulation import Simulator
 from repro.core.cleanup import merge_missing_count, merge_missing_results
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.coordinator import GlobalCoordinator
-from repro.core.strategies import profile_of
+from repro.core.strategies import profile_of, trace_strategy
 from repro.engine.operators.mjoin import MJoin
 from repro.engine.operators.split import PartitionMap, Split
 from repro.engine.partitions import FrozenPartitionGroup, PartitionGroup
@@ -198,6 +198,7 @@ class PipelineDeployment:
         collect_results: bool = False,
         record_inputs: bool = False,
         seed: int = 11,
+        tracer=None,
     ) -> None:
         if not stages:
             raise ValueError("need at least one stage")
@@ -217,6 +218,10 @@ class PipelineDeployment:
 
         self.sim = Simulator()
         self.metrics = MetricsHub()
+        if tracer is not None:
+            self.metrics.tracer = tracer
+            tracer.bind_clock(lambda: self.sim.now)
+            trace_strategy(tracer, config)
         self.network = Network(
             self.sim,
             latency=self.cost.network_latency,
@@ -259,6 +264,14 @@ class PipelineDeployment:
             else:
                 base_map = PartitionMap.weighted(stage.n_partitions,
                                                  dict(stage.assignment))
+            if self.metrics.tracer.enabled:
+                for worker in stage.workers:
+                    self.metrics.tracer.event(
+                        "deploy.assignment",
+                        machine=worker,
+                        stage=stage.name,
+                        pids=tuple(sorted(base_map.partitions_of(worker))),
+                    )
             stage_splits = {
                 stream: Split(f"split_{stage.name}_{stream}",
                               stage.n_partitions, base_map.copy())
@@ -440,6 +453,10 @@ class PipelineDeployment:
                     memory_by_pid[group.pid] = group.freeze()
 
         pids = sorted(set(segments_by_pid) | set(late_by_pid))
+        tracer = self.metrics.tracer
+        span = 0
+        if tracer.enabled:
+            span = tracer.begin_span("cleanup", stage=stage.name)
         total = 0
         collected: list[JoinResult] = []
         for pid in pids:
@@ -456,18 +473,34 @@ class PipelineDeployment:
                     late_group.insert(tup)
                 parts.append(late_group.freeze())
             if len(parts) < 2:
+                if span:
+                    tracer.event(
+                        "cleanup.skip", span=span, pid=pid,
+                        stage=stage.name, segments=len(segs),
+                    )
                 continue
             window = stage.join.window
             if need_results:
-                collected.extend(
-                    merge_missing_results(parts, streams, window=window)
-                )
+                found = merge_missing_results(parts, streams, window=window)
+                count = len(found)
+                collected.extend(found)
             elif window is not None:
-                total += len(
+                count = len(
                     merge_missing_results(parts, streams, window=window)
                 )
+                total += count
             else:
-                total += merge_missing_count(parts, streams)
+                count = merge_missing_count(parts, streams)
+                total += count
+            if span:
+                tracer.event(
+                    "cleanup.merge", span=span, pid=pid, stage=stage.name,
+                    segments=len(segs), parts=len(parts), results=count,
+                )
+        if span:
+            tracer.end_span(
+                span, results=(len(collected) if need_results else total)
+            )
         return collected if need_results else total
 
 

@@ -38,7 +38,7 @@ from repro.cluster.simulation import Simulator
 from repro.core.cleanup import CleanupExecutor, CleanupReport
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.coordinator import GC_NAME, GlobalCoordinator
-from repro.core.strategies import profile_of
+from repro.core.strategies import profile_of, trace_strategy
 from repro.engine.operators.base import Operator
 from repro.engine.operators.mjoin import MJoin
 from repro.engine.operators.split import PartitionMap, Split
@@ -91,6 +91,9 @@ class Deployment:
     memory_capacity:
         Physical per-worker memory (``None`` = unbounded, the usual setting
         since the adaptation threshold is what matters).
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` recording structured protocol
+        traces for this run (``None`` = tracing disabled, zero overhead).
     """
 
     def __init__(
@@ -111,6 +114,7 @@ class Deployment:
         memory_capacity: int | None = None,
         ship_results: bool = False,
         seed: int = 11,
+        tracer=None,
     ) -> None:
         if isinstance(workers, int):
             if workers <= 0:
@@ -136,6 +140,10 @@ class Deployment:
 
         self.sim = Simulator()
         self.metrics = MetricsHub()
+        if tracer is not None:
+            self.metrics.tracer = tracer
+            tracer.bind_clock(lambda: self.sim.now)
+            trace_strategy(tracer, config)
         self.network = Network(
             self.sim,
             latency=self.cost.network_latency,
@@ -170,6 +178,13 @@ class Deployment:
                 raise ValueError(f"assignment names unknown workers {sorted(unknown)!r}")
             base_map = PartitionMap.weighted(n, assignment)
         self.initial_map = base_map.copy()
+        if self.metrics.tracer.enabled:
+            for name in workers:
+                self.metrics.tracer.event(
+                    "deploy.assignment",
+                    machine=name,
+                    pids=tuple(sorted(self.initial_map.partitions_of(name))),
+                )
 
         # --- operators ---------------------------------------------------
         self.splits: dict[str, Split] = {
@@ -371,7 +386,8 @@ class Deployment:
     def cleanup(self, *, materialize: bool = False) -> CleanupReport:
         """Run the post-run-time cleanup phase over all spilled state."""
         executor = CleanupExecutor(self.join.stream_names, self.cost,
-                                   window=self.join.window)
+                                   window=self.join.window,
+                                   tracer=self.metrics.tracer)
         report = executor.run(
             self.disks, self.memory_parts(), materialize=materialize
         )

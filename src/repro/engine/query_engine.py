@@ -108,7 +108,9 @@ class QueryEngine:
         #: locally
         self.app_server = app_server
         self.mode = MODE_NORMAL
-        executor = SpillExecutor(machine, disk, instance.store, cost)
+        executor = SpillExecutor(
+            machine, disk, instance.store, cost, tracer=metrics.tracer
+        )
         self.controller = LocalAdaptationController(
             instance.store, executor, config, seed=seed
         )
@@ -195,6 +197,13 @@ class QueryEngine:
             bytes_lost=bytes_lost,
             outputs_lost=outputs_lost,
         )
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "engine.crash", machine=self.name,
+                bytes_lost=bytes_lost, outputs_lost=outputs_lost,
+                incarnation=self.incarnation,
+            )
 
     def restart(self) -> None:
         """Rejoin the cluster empty.  Must happen *during* the run (timers
@@ -207,6 +216,11 @@ class QueryEngine:
             self.checkpointer.reset()
         self.start()
         self.metrics.events.record(self.sim.now, "restart", self.name)
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "engine.restart", machine=self.name, incarnation=self.incarnation
+            )
 
     # ------------------------------------------------------------------
     # Network dispatch
@@ -393,6 +407,16 @@ class QueryEngine:
             frozen = self.instance.store.evict(transfer.partition_ids)
             total = sum(f.size_bytes for f in frozen)
             duration = total * self.cost.serialize_cost_per_byte
+            tracer = self.metrics.tracer
+            if tracer.enabled and transfer.trace_span:
+                tracer.event(
+                    "relocation.pack",
+                    machine=self.name,
+                    span=transfer.trace_span,
+                    pids=tuple(f.pid for f in frozen),
+                    bytes=total,
+                    receiver=transfer.receiver,
+                )
 
             def send_state() -> None:
                 self._active_transfer = None
@@ -404,6 +428,7 @@ class QueryEngine:
                         partition_ids=tuple(f.pid for f in frozen),
                         groups=tuple(frozen),
                         total_bytes=total,
+                        trace_span=transfer.trace_span,
                     ),
                     total,
                 )
@@ -476,6 +501,15 @@ class QueryEngine:
             def finish() -> None:
                 for frozen in transfer.groups:
                     self.instance.store.install(frozen, now=self.sim.now)
+                tracer = self.metrics.tracer
+                if tracer.enabled and transfer.trace_span:
+                    tracer.event(
+                        "relocation.install",
+                        machine=self.name,
+                        span=transfer.trace_span,
+                        pids=transfer.partition_ids,
+                        bytes=transfer.total_bytes,
+                    )
                 if self.checkpointer is not None:
                     # Install commit: make the received state durable at its
                     # new home (supersedes the sender's hand-off entries).
@@ -513,6 +547,16 @@ class QueryEngine:
             def finish() -> None:
                 for entry in request.entries:
                     self.instance.store.install(entry.frozen, now=self.sim.now)
+                tracer = self.metrics.tracer
+                if tracer.enabled and request.trace_span:
+                    tracer.event(
+                        "recovery.restore",
+                        machine=self.name,
+                        span=request.trace_span,
+                        pids=request.partition_ids,
+                        installed=tuple(e.pid for e in request.entries),
+                        bytes=request.total_bytes,
+                    )
                 if self.checkpointer is not None:
                     # the restored groups are durable again at their new home
                     self.checkpointer.commit("restore")
@@ -688,6 +732,14 @@ class SourceHost:
         request: PauseRequest = message.payload
         for split in self.splits.values():
             split.pause(request.partition_ids)
+        tracer = self.metrics.tracer
+        if tracer.enabled and request.trace_span:
+            tracer.event(
+                "split.pause",
+                machine=self.name,
+                span=request.trace_span,
+                pids=request.partition_ids,
+            )
         # Drain marker down the data link to the sender (FIFO behind all
         # previously forwarded batches), then ack the coordinator.
         self.network.send(
@@ -702,6 +754,16 @@ class SourceHost:
         for split in self.splits.values():
             for pid, owner, tup in split.resume(request.partition_ids, request.new_owner):
                 flushed.append((owner, pid, tup))
+        tracer = self.metrics.tracer
+        if tracer.enabled and request.trace_span:
+            tracer.event(
+                "split.flush",
+                machine=self.name,
+                span=request.trace_span,
+                pids=request.partition_ids,
+                new_owner=request.new_owner,
+                flushed=len(flushed),
+            )
         if flushed:
             self._forward(flushed)
         self._send_gc("resumed", ResumeAck(host=self.name))
@@ -731,6 +793,15 @@ class SourceHost:
             pids.update(split.partition_map.partitions_of(request.machine))
         for split in self.splits.values():
             split.pause(pids)
+        tracer = self.metrics.tracer
+        if tracer.enabled and request.trace_span:
+            tracer.event(
+                "recovery.pause_owned",
+                machine=self.name,
+                span=request.trace_span,
+                lost=request.machine,
+                pids=tuple(sorted(pids)),
+            )
         self._send_gc(
             "owned_paused",
             OwnedPausedAck(
@@ -760,18 +831,40 @@ class SourceHost:
             self._forward(flushed)
         resident = set(request.resident)
         replay: list[tuple[str, int, StreamTuple]] = []
+        tracer = self.metrics.tracer
+        trace_on = tracer.enabled and bool(request.trace_span)
+        detail: dict[str, dict] = {}
         for pid, owner in request.assignments:
-            if pid in resident:
-                # The owner already holds the live group and processed
-                # every forwarded tuple — replay would duplicate results.
-                continue
             covered = request.restored.get(pid, frozenset())
-            for tup in suffix[pid]:
-                if tup.ident not in covered:
-                    replay.append((owner, pid, tup))
+            replayed = 0
+            if pid not in resident:
+                # The owner of a *resident* partition already holds the live
+                # group and processed every forwarded tuple — replay would
+                # duplicate results.
+                for tup in suffix[pid]:
+                    if tup.ident not in covered:
+                        replay.append((owner, pid, tup))
+                        replayed += 1
+            if trace_on:
+                detail[str(pid)] = {
+                    "suffix": len(suffix[pid]),
+                    "covered": sum(
+                        1 for t in suffix[pid] if t.ident in covered
+                    ),
+                    "replayed": replayed,
+                    "resident": pid in resident,
+                    "owner": owner,
+                }
         if replay:
             # Replayed tuples are already in the log — do not re-record.
             self._forward(replay, record=False)
+        if trace_on:
+            tracer.event(
+                "recovery.replay",
+                machine=self.name,
+                span=request.trace_span,
+                detail=detail,
+            )
         self.replayed_total += len(replay)
         self._send_gc(
             "rerouted", RerouteAck(host=self.name, tuples_replayed=len(replay))

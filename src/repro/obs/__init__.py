@@ -1,0 +1,15 @@
+"""Observability layer: structured tracing and trace-driven invariants."""
+
+from repro.obs.invariants import InvariantChecker, Violation, check_trace
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, load_jsonl
+
+__all__ = [
+    "InvariantChecker",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "Violation",
+    "check_trace",
+    "load_jsonl",
+]

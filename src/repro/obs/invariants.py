@@ -1,0 +1,443 @@
+"""Trace-driven protocol invariant checking.
+
+The tracer (:mod:`repro.obs.trace`) records *what happened*; this module
+replays a finished trace and asserts *what must always hold* about the
+adaptation protocols, independent of any particular workload:
+
+1. **Relocation step order** — every relocation session's steps 1–8
+   (cptv → ptv → pause → paused → transfer → installed → remap →
+   resumed) occur in strictly increasing order; a session that completes
+   saw all eight exactly once.
+2. **Pause/flush discipline** — tuples buffered at a paused split are
+   flushed exactly once per session (on remap for a completed hand-off,
+   on remap-back for an aborted one); never zero times, never twice.
+3. **Single residency** — no partition's state is live on two machines
+   at once.  Packing evicts it from the sender (it is *in flight* until
+   the receiver installs), a crash evicts everything on the dead
+   machine, and a recovery restore may only re-materialise state whose
+   owner is gone.
+4. **Spill ↔ cleanup matching** — when a cleanup phase runs, every
+   partition that ever spilled to disk is either merged exactly once or
+   explicitly skipped (fewer than two parts on disk); nothing parked on
+   disk is silently forgotten, and nothing is merged twice.
+5. **Checkpoint / crash-epoch atomicity** — a machine emits no trace
+   activity (in particular no checkpoint commits) between its crash and
+   its restart; commits happen entirely before a crash or not at all.
+6. **Recovery replay arithmetic** — recovery replays exactly the
+   uncovered suffix of the replay log: per partition,
+   ``replayed == suffix − covered`` when the state was restored from a
+   checkpoint, and ``replayed == 0`` when it was already resident on a
+   survivor.
+7. **Recovery phase order** — every recovery session walks
+   pausing → restoring → rerouting without skipping backwards.
+
+``check_trace(events)`` returns a list of :class:`Violation`; an empty
+list means the trace upholds every contract.  The checker needs only the
+event stream — it can run on a live :class:`~repro.obs.trace.Tracer`'s
+``events`` or on records loaded back from JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.obs.trace import PHASE_BEGIN, PHASE_END, PHASE_INSTANT, TraceEvent
+
+__all__ = ["InvariantChecker", "Violation", "check_trace"]
+
+#: Step numbers of the 8-step relocation protocol, in contract order.
+RELOCATION_STEPS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Legal forward order of recovery session phases.
+RECOVERY_PHASE_ORDER = ("pausing", "restoring", "rerouting", "done")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken contract, anchored to the trace event that exposed it."""
+
+    check: str
+    message: str
+    seq: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        anchor = f" (seq={self.seq})" if self.seq is not None else ""
+        return f"[{self.check}] {self.message}{anchor}"
+
+
+@dataclass
+class _RelocationState:
+    span: int
+    machine: str
+    steps: list[int] = field(default_factory=list)
+    pauses: int = 0
+    flushes: int = 0
+    last_pause_seq: int = -1
+    status: str | None = None
+    #: aborted with splits left paused for a recovery session to resume
+    pause_handoff: bool = False
+
+
+@dataclass
+class _RecoveryState:
+    span: int
+    phases: list[str] = field(default_factory=list)
+    status: str | None = None
+
+
+class InvariantChecker:
+    """Replays a trace event stream and accumulates violations."""
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        # machine -> pipeline stage label ("" for flat deployments)
+        self._stage_of: dict[str, str] = {}
+        # (stage, pid) -> machine currently holding live state
+        self._resident: dict[tuple[str, int], str] = {}
+        # (span, stage, pid) -> sender, for state packed but not installed
+        self._in_flight: dict[tuple[int, str, int], str] = {}
+        self._dead: set[str] = set()
+        self._relocations: dict[int, _RelocationState] = {}
+        self._recoveries: dict[int, _RecoveryState] = {}
+        # (stage, pid) -> spill count / merge count / skip count
+        self._spilled: dict[tuple[str, int], int] = {}
+        self._merged: dict[tuple[str, int], int] = {}
+        self._skipped: dict[tuple[str, int], int] = {}
+        self._cleanup_ran_stages: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _fail(self, check: str, message: str, event: TraceEvent | None = None) -> None:
+        self.violations.append(
+            Violation(check, message, event.seq if event is not None else None)
+        )
+
+    def _stage(self, machine: str, event: TraceEvent) -> str:
+        return str(event.get("stage", self._stage_of.get(machine, "")))
+
+    # ------------------------------------------------------------------
+    def feed(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            self._feed_one(event)
+
+    def _feed_one(self, e: TraceEvent) -> None:
+        self._check_dead_epoch(e)
+
+        if e.phase == PHASE_BEGIN:
+            if e.name == "relocation":
+                self._relocations[e.span] = _RelocationState(e.span, e.machine)
+            elif e.name == "recovery":
+                self._recoveries[e.span] = _RecoveryState(e.span)
+            elif e.name == "spill":
+                self._on_spill(e)
+            elif e.name == "cleanup":
+                self._cleanup_ran_stages.add(str(e.get("stage", "")))
+        elif e.phase == PHASE_END:
+            if e.span in self._relocations and e.name == "relocation":
+                state = self._relocations[e.span]
+                state.status = str(e.get("status", ""))
+                state.pause_handoff = bool(e.get("pause_handoff", False))
+            elif e.span in self._recoveries and e.name == "recovery":
+                self._recoveries[e.span].status = str(e.get("status", ""))
+        elif e.phase == PHASE_INSTANT:
+            handler = {
+                "deploy.assignment": self._on_assignment,
+                "relocation.step": self._on_step,
+                "split.pause": self._on_pause,
+                "split.flush": self._on_flush,
+                "relocation.pack": self._on_pack,
+                "relocation.install": self._on_install,
+                "cleanup.merge": self._on_merge,
+                "cleanup.skip": self._on_skip,
+                "engine.crash": self._on_crash,
+                "engine.restart": self._on_restart,
+                "recovery.phase": self._on_recovery_phase,
+                "recovery.restore": self._on_restore,
+                "recovery.replay": self._on_replay,
+            }.get(e.name)
+            if handler is not None:
+                handler(e)
+
+    # ------------------------------------------------------------------
+    # Check 5: no activity from a crashed machine until it restarts.
+    # ------------------------------------------------------------------
+    def _check_dead_epoch(self, e: TraceEvent) -> None:
+        if e.machine in self._dead and e.name not in ("engine.restart", "engine.crash"):
+            self._fail(
+                "crash-epoch",
+                f"machine {e.machine!r} emitted {e.name!r} while crashed",
+                e,
+            )
+
+    # ------------------------------------------------------------------
+    # Residency bookkeeping (check 3)
+    # ------------------------------------------------------------------
+    def _on_assignment(self, e: TraceEvent) -> None:
+        stage = str(e.get("stage", ""))
+        self._stage_of[e.machine] = stage
+        for pid in e.get("pids", ()):
+            key = (stage, int(pid))
+            holder = self._resident.get(key)
+            if holder is not None and holder != e.machine:
+                self._fail(
+                    "single-residency",
+                    f"partition {key} initially assigned to both {holder!r} "
+                    f"and {e.machine!r}",
+                    e,
+                )
+            self._resident[key] = e.machine
+
+    def _on_pack(self, e: TraceEvent) -> None:
+        stage = self._stage(e.machine, e)
+        span = e.span or 0
+        for pid in e.get("pids", ()):
+            key = (stage, int(pid))
+            if self._resident.get(key) == e.machine:
+                del self._resident[key]
+            self._in_flight[(span, stage, int(pid))] = e.machine
+
+    def _on_install(self, e: TraceEvent) -> None:
+        stage = self._stage(e.machine, e)
+        span = e.span or 0
+        for pid in e.get("pids", ()):
+            key = (stage, int(pid))
+            self._in_flight.pop((span, stage, int(pid)), None)
+            holder = self._resident.get(key)
+            if holder is not None and holder != e.machine and holder not in self._dead:
+                self._fail(
+                    "single-residency",
+                    f"partition {key} installed on {e.machine!r} while still "
+                    f"live on {holder!r}",
+                    e,
+                )
+            self._resident[key] = e.machine
+
+    def _on_crash(self, e: TraceEvent) -> None:
+        self._dead.add(e.machine)
+        for key, holder in list(self._resident.items()):
+            if holder == e.machine:
+                del self._resident[key]
+
+    def _on_restart(self, e: TraceEvent) -> None:
+        self._dead.discard(e.machine)
+
+    def _on_restore(self, e: TraceEvent) -> None:
+        stage = self._stage(e.machine, e)
+        for pid in e.get("installed", ()):
+            key = (stage, int(pid))
+            holder = self._resident.get(key)
+            if holder is not None and holder != e.machine and holder not in self._dead:
+                self._fail(
+                    "single-residency",
+                    f"recovery restored partition {key} on {e.machine!r} while "
+                    f"still live on {holder!r}",
+                    e,
+                )
+            self._resident[key] = e.machine
+
+    # ------------------------------------------------------------------
+    # Relocation protocol (checks 1 and 2)
+    # ------------------------------------------------------------------
+    def _relocation_for(self, e: TraceEvent) -> _RelocationState | None:
+        if e.span is None:
+            self._fail("relocation-steps", f"{e.name!r} event without a span", e)
+            return None
+        state = self._relocations.get(e.span)
+        if state is None:
+            self._fail(
+                "relocation-steps",
+                f"{e.name!r} event for unknown relocation span {e.span}",
+                e,
+            )
+        return state
+
+    def _on_step(self, e: TraceEvent) -> None:
+        state = self._relocation_for(e)
+        if state is None:
+            return
+        step = int(e.get("step", -1))
+        if step not in RELOCATION_STEPS:
+            self._fail("relocation-steps", f"step number {step} out of range", e)
+            return
+        if state.steps and step <= state.steps[-1]:
+            self._fail(
+                "relocation-steps",
+                f"relocation span {state.span}: step {step} after step "
+                f"{state.steps[-1]}",
+                e,
+            )
+        state.steps.append(step)
+
+    def _on_pause(self, e: TraceEvent) -> None:
+        state = self._relocation_for(e)
+        if state is None:
+            return
+        state.pauses += 1
+        state.last_pause_seq = e.seq
+
+    def _on_flush(self, e: TraceEvent) -> None:
+        state = self._relocation_for(e)
+        if state is None:
+            return
+        state.flushes += 1
+        if state.flushes > state.pauses:
+            self._fail(
+                "pause-flush",
+                f"relocation span {state.span}: flushed more times than paused "
+                f"({state.flushes} > {state.pauses})",
+                e,
+            )
+        if e.seq < state.last_pause_seq:
+            self._fail(
+                "pause-flush",
+                f"relocation span {state.span}: flush before pause",
+                e,
+            )
+
+    # ------------------------------------------------------------------
+    # Spill / cleanup matching (check 4)
+    # ------------------------------------------------------------------
+    def _on_spill(self, e: TraceEvent) -> None:
+        stage = self._stage(e.machine, e)
+        for pid in e.get("pids", ()):
+            key = (stage, int(pid))
+            self._spilled[key] = self._spilled.get(key, 0) + 1
+
+    def _on_merge(self, e: TraceEvent) -> None:
+        stage = str(e.get("stage", ""))
+        key = (stage, int(e.get("pid", -1)))
+        self._merged[key] = self._merged.get(key, 0) + 1
+        if self._merged[key] > 1:
+            self._fail(
+                "spill-cleanup",
+                f"partition {key} merged {self._merged[key]} times during cleanup",
+                e,
+            )
+
+    def _on_skip(self, e: TraceEvent) -> None:
+        stage = str(e.get("stage", ""))
+        key = (stage, int(e.get("pid", -1)))
+        self._skipped[key] = self._skipped.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Recovery (checks 6 and 7)
+    # ------------------------------------------------------------------
+    def _recovery_for(self, e: TraceEvent) -> _RecoveryState | None:
+        if e.span is None or e.span not in self._recoveries:
+            self._fail(
+                "recovery-phases",
+                f"{e.name!r} event outside any recovery span",
+                e,
+            )
+            return None
+        return self._recoveries[e.span]
+
+    def _on_recovery_phase(self, e: TraceEvent) -> None:
+        state = self._recovery_for(e)
+        if state is None:
+            return
+        phase = str(e.get("phase", ""))
+        if phase not in RECOVERY_PHASE_ORDER:
+            self._fail("recovery-phases", f"unknown recovery phase {phase!r}", e)
+            return
+        if state.phases:
+            prev = RECOVERY_PHASE_ORDER.index(state.phases[-1])
+            if RECOVERY_PHASE_ORDER.index(phase) < prev:
+                self._fail(
+                    "recovery-phases",
+                    f"recovery span {state.span}: phase {phase!r} after "
+                    f"{state.phases[-1]!r}",
+                    e,
+                )
+        state.phases.append(phase)
+
+    def _on_replay(self, e: TraceEvent) -> None:
+        self._recovery_for(e)
+        detail = e.get("detail", {})
+        for pid, row in detail.items():
+            suffix = int(row.get("suffix", 0))
+            covered = int(row.get("covered", 0))
+            replayed = int(row.get("replayed", 0))
+            resident = bool(row.get("resident", False))
+            if resident:
+                if replayed != 0:
+                    self._fail(
+                        "recovery-replay",
+                        f"partition {pid}: replayed {replayed} tuples although "
+                        f"state was already resident",
+                        e,
+                    )
+            elif replayed != suffix - covered:
+                self._fail(
+                    "recovery-replay",
+                    f"partition {pid}: replayed {replayed}, expected uncovered "
+                    f"suffix {suffix} - {covered} = {suffix - covered}",
+                    e,
+                )
+
+    # ------------------------------------------------------------------
+    # End-of-trace checks
+    # ------------------------------------------------------------------
+    def finish(self) -> list[Violation]:
+        for state in self._relocations.values():
+            self._finish_relocation(state)
+        for state in self._recoveries.values():
+            self._finish_recovery(state)
+        self._finish_spill_cleanup()
+        return self.violations
+
+    def _finish_relocation(self, state: _RelocationState) -> None:
+        if state.status == "done":
+            if state.steps != list(RELOCATION_STEPS):
+                self._fail(
+                    "relocation-steps",
+                    f"relocation span {state.span} completed with step sequence "
+                    f"{state.steps}, expected {list(RELOCATION_STEPS)}",
+                )
+            if state.pauses < 1 or state.pauses != state.flushes:
+                self._fail(
+                    "pause-flush",
+                    f"relocation span {state.span} completed with "
+                    f"{state.pauses} pauses / {state.flushes} flushes "
+                    f"(expected one flush per pause, at least one host)",
+                )
+        elif state.pause_handoff:
+            # splits were deliberately left paused for recovery to resume;
+            # the flush happens inside the recovery session's reroute
+            pass
+        elif state.pauses != state.flushes:
+            # Aborted sessions must still release buffered tuples exactly
+            # once per pause (remap-back), or the split leaks its buffer.
+            self._fail(
+                "pause-flush",
+                f"relocation span {state.span} ({state.status or 'unclosed'}) "
+                f"paused {state.pauses}x but flushed {state.flushes}x",
+            )
+
+    def _finish_recovery(self, state: _RecoveryState) -> None:
+        if state.status == "done" and not state.phases:
+            self._fail(
+                "recovery-phases",
+                f"recovery span {state.span} completed without phase events",
+            )
+
+    def _finish_spill_cleanup(self) -> None:
+        if not self._cleanup_ran_stages:
+            return  # cleanup never ran; nothing to match against
+        for key in sorted(self._spilled):
+            stage, pid = key
+            if stage not in self._cleanup_ran_stages:
+                continue
+            if not self._merged.get(key) and not self._skipped.get(key):
+                self._fail(
+                    "spill-cleanup",
+                    f"partition {key} spilled {self._spilled[key]}x but cleanup "
+                    f"neither merged nor skipped it",
+                )
+
+
+def check_trace(events: Sequence[TraceEvent]) -> list[Violation]:
+    """Run every invariant over ``events``; returns the violations found."""
+    checker = InvariantChecker()
+    checker.feed(events)
+    return checker.finish()

@@ -334,6 +334,18 @@ class CheckpointManager:
                     partitions=len(entries),
                     holder=holder,
                 )
+                tracer = self.metrics.tracer
+                if tracer.enabled:
+                    tracer.event(
+                        "checkpoint.commit",
+                        machine=self.machine.name,
+                        reason=reason,
+                        bytes=total,
+                        pids=tuple(e.pid for e in entries),
+                        handoff=tuple(f.pid for f in handoff),
+                        dropped=tuple(sorted(drop)),
+                        holder=holder,
+                    )
                 if on_committed is not None:
                     on_committed()
 

@@ -127,8 +127,30 @@ class RecoveryManager:
         session = RecoverySession(machine=machine, started_at=now)
         session.pending_pause_acks = set(self.split_hosts)
         self.session = session
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            session.trace_span = tracer.begin_span(
+                "recovery", machine=self.name,
+                lost=machine, silent_for=silent_for,
+            )
+        self._trace_phase(session, "pausing")
         for host in self.split_hosts:
-            self._send(host, "pause_owned", PauseOwnedRequest(machine=machine))
+            self._send(
+                host,
+                "pause_owned",
+                PauseOwnedRequest(machine=machine, trace_span=session.trace_span),
+            )
+
+    def _trace_phase(self, session: RecoverySession, phase: str, **fields) -> None:
+        tracer = self.metrics.tracer
+        if tracer.enabled and session.trace_span:
+            tracer.event(
+                "recovery.phase",
+                machine=self.name,
+                span=session.trace_span,
+                phase=phase,
+                **fields,
+            )
 
     def adopt_relocation(
         self, *, sender: str, receiver: str, partition_ids: tuple[int, ...]
@@ -207,9 +229,11 @@ class RecoveryManager:
         session.advance("restoring")
         if not session.partition_ids:
             # the dead machine owned nothing — just finish the bookkeeping
+            self._trace_phase(session, "restoring")
             self._reroute(session)
             return
         if not survivors:
+            self._trace_phase(session, "restoring", failed="no survivors")
             self.metrics.events.record(
                 self.sim.now,
                 "recovery_failed",
@@ -257,6 +281,12 @@ class RecoveryManager:
             for pid in restorable
             if entries[pid] is not None
         }
+        self._trace_phase(
+            session,
+            "restoring",
+            assignments={str(pid): owner for pid, owner in session.assignments},
+            resident=session.resident,
+        )
         per_target: dict[str, list[int]] = {}
         for pid in restorable:
             per_target.setdefault(assignments[pid], []).append(pid)
@@ -275,6 +305,7 @@ class RecoveryManager:
                     partition_ids=tuple(sorted(pids)),
                     entries=tuple(chosen),
                     total_bytes=total,
+                    trace_span=session.trace_span,
                 ),
                 total,
             )
@@ -294,6 +325,7 @@ class RecoveryManager:
 
     def _reroute(self, session: RecoverySession) -> None:
         session.advance("rerouting")
+        self._trace_phase(session, "rerouting")
         if not session.assignments:
             self._complete(session)
             return
@@ -307,6 +339,7 @@ class RecoveryManager:
                     assignments=session.assignments,
                     restored=dict(session.restored_idents),
                     resident=session.resident,
+                    trace_span=session.trace_span,
                 ),
             )
 
@@ -339,6 +372,15 @@ class RecoveryManager:
             resident=len(session.resident),
             targets=tuple(sorted({owner for _, owner in session.assignments})),
         )
+        tracer = self.metrics.tracer
+        if tracer.enabled and session.trace_span:
+            tracer.end_span(
+                session.trace_span,
+                status="done",
+                partitions=len(session.partition_ids),
+                bytes_restored=session.bytes_restored,
+                tuples_replayed=session.tuples_replayed,
+            )
         self.history.append(session)
         self.session = None
 

@@ -65,6 +65,9 @@ class PauseOwnedRequest:
     ``machine`` (the presumed-dead worker)."""
 
     machine: str
+    #: trace span of the recovery session (0 when tracing is disabled);
+    #: lets split hosts attribute their pause/replay events causally.
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -89,6 +92,7 @@ class RestoreRequest:
     partition_ids: tuple[int, ...]
     entries: tuple["CheckpointEntry", ...]
     total_bytes: int
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,7 @@ class RecoverRouteRequest:
     assignments: tuple[tuple[int, str], ...]  # (pid, new_owner)
     restored: Mapping[int, frozenset[TupleIdent]]
     resident: tuple[int, ...] = ()
+    trace_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -188,6 +193,8 @@ class RecoverySession:
     bytes_restored: int = 0
     tuples_replayed: int = 0
     completed_at: float | None = None
+    #: id of this session's "recovery" trace span (0 = tracing disabled)
+    trace_span: int = 0
 
     def advance(self, phase: str) -> None:
         if phase not in RECOVERY_PHASES:

@@ -60,3 +60,30 @@ def small_deployment(
     )
     deployment._test_duration = duration  # convenience for callers
     return deployment
+
+
+def assert_no_violations(tracer, name):
+    """Run a tracer's events through the invariant checker.
+
+    On failure the offending trace is written to ``trace-artifacts/`` so
+    CI can upload it for post-mortem before the assertion fires.
+    """
+    import pathlib
+
+    from repro.obs import check_trace
+    from repro.obs.trace import load_jsonl
+
+    events = load_jsonl(tracer.to_jsonl().splitlines())
+    violations = check_trace(events)
+    if violations:
+        artifacts = pathlib.Path("trace-artifacts")
+        artifacts.mkdir(exist_ok=True)
+        path = artifacts / f"{name}.jsonl"
+        tracer.write_jsonl(path)
+        lines = "\n".join(f"  [{v.check}] {v.message} (seq={v.seq})"
+                          for v in violations)
+        raise AssertionError(
+            f"{len(violations)} invariant violation(s) in {name} "
+            f"(trace saved to {path}):\n{lines}"
+        )
+    return events

@@ -8,11 +8,14 @@ spills and relocations and compare against the reference oracle.
 
 import pytest
 
-from repro import AdaptationConfig, Deployment, StrategyName
+from repro import AdaptationConfig, Deployment, StrategyName, Tracer
+from repro.core.relocation import STEP_NAMES
 from repro.engine.operators.mjoin import MJoin
 from repro.engine.reference import reference_join, result_idents
 from repro.engine.tuples import Schema
 from repro.workloads import WorkloadSpec
+
+from tests.helpers import assert_no_violations
 
 
 def mway_join(arity: int) -> MJoin:
@@ -23,7 +26,7 @@ def mway_join(arity: int) -> MJoin:
     return MJoin(f"join{arity}", schemas)
 
 
-def run_adapted(arity: int, *, threshold=8_000, duration=40.0):
+def run_adapted(arity: int, *, threshold=8_000, duration=40.0, tracer=None):
     join = mway_join(arity)
     dep = Deployment(
         join=join,
@@ -40,6 +43,7 @@ def run_adapted(arity: int, *, threshold=8_000, duration=40.0):
         assignment={"m1": 0.75, "m2": 0.25},
         collect_results=True,
         record_inputs=True,
+        tracer=tracer,
     )
     dep.run(duration=duration, sample_interval=10)
     report = dep.cleanup(materialize=True)
@@ -56,6 +60,28 @@ def test_exactly_once_for_each_arity(arity):
         reference_join(dep.source_host.inputs, dep.join.stream_names)
     )
     assert produced == reference
+
+
+@pytest.mark.parametrize("arity", [2, 4])
+def test_protocol_step_order_is_arity_independent(arity):
+    """The 8-step relocation protocol runs identically for any join
+    arity: every completed session's trace shows steps 1–8 in order with
+    the canonical step names, and the whole run upholds every invariant."""
+    tracer = Tracer()
+    dep, __ = run_adapted(arity, tracer=tracer)
+    events = assert_no_violations(tracer, f"mway-arity{arity}")
+    done = [e.span for e in events
+            if e.phase == "E" and e.name == "relocation"
+            and e.get("status") == "done"]
+    assert done, "run completed no relocation to check"
+    for span in done:
+        steps = [e for e in events
+                 if e.name == "relocation.step" and e.span == span]
+        assert [s.get("step") for s in steps] == list(range(1, 9))
+        assert ([s.get("step_name") for s in steps]
+                == [STEP_NAMES[i] for i in range(1, 9)])
+    # spills happened and every spilled partition was reconciled
+    assert any(e.name == "spill" for e in events)
 
 
 def test_binary_join_result_shape():

@@ -7,7 +7,15 @@ tracked end-to-end via flattened leaf provenance.
 
 import pytest
 
-from repro import AdaptationConfig, PipelineDeployment, PipelineStage, StrategyName
+from repro import (
+    AdaptationConfig,
+    PipelineDeployment,
+    PipelineStage,
+    StrategyName,
+    Tracer,
+)
+
+from tests.helpers import assert_no_violations
 from repro.engine.operators.mjoin import MJoin
 from repro.engine.reference import reference_join
 from repro.engine.tuples import Schema
@@ -24,7 +32,8 @@ def enrich_join(name, upstream, other):
     return MJoin(name, schemas)
 
 
-def build(*, strategy=StrategyName.ALL_MEMORY, threshold=10**9):
+def build(*, strategy=StrategyName.ALL_MEMORY, threshold=10**9,
+          tracer=None):
     stages = [
         PipelineStage(name="s1", join=three_way_join(), workers=("m1",),
                       n_partitions=4, key_fn=lambda r: r.key),
@@ -40,7 +49,8 @@ def build(*, strategy=StrategyName.ALL_MEMORY, threshold=10**9):
         strategy=strategy, memory_threshold=threshold,
         ss_interval=2.0, stats_interval=2.0, coordinator_interval=4.0,
     )
-    return PipelineDeployment(stages, workload, config, collect_results=True)
+    return PipelineDeployment(stages, workload, config,
+                              collect_results=True, tracer=tracer)
 
 
 def regenerate_inputs(dep):
@@ -123,3 +133,57 @@ class TestThreeStages:
         assert s2.late_inputs == s1.missing_results
         assert s3.late_inputs == s2.missing_results
         assert report.final_missing == s3.missing_results
+
+
+class TestPipelineTracing:
+    def test_spill_spans_cover_multiple_stages(self):
+        """Traced pipeline run: spill spans appear on machines of at
+        least two different stages, cleanup reconciles every stage's
+        spills, and no invariant breaks across the cascade."""
+        tracer = Tracer()
+        dep = build(strategy=StrategyName.NO_RELOCATION, threshold=2_500,
+                    tracer=tracer)
+        dep.run(duration=40, sample_interval=10)
+        dep.cleanup(materialize=True)
+        events = assert_no_violations(tracer, "pipeline-spills")
+        stage_of = {e.machine: e.get("stage")
+                    for e in events if e.name == "deploy.assignment"}
+        spill_stages = {stage_of[e.machine] for e in events
+                        if e.name == "spill" and e.phase == "B"}
+        assert len(spill_stages) >= 2, "spill spans did not hit 2+ stages"
+        merge_stages = {e.get("stage") for e in events
+                        if e.name == "cleanup.merge"}
+        assert len(merge_stages) >= 2
+
+    def test_stage_relocation_steps_ordered(self):
+        """A skewed two-worker stage relocates via its own coordinator;
+        the per-stage trace shows the 8 protocol steps in order."""
+        stages = [
+            PipelineStage(name="s1", join=three_way_join(),
+                          workers=("m1", "m1b"), n_partitions=8,
+                          key_fn=lambda r: r.key,
+                          assignment={"m1": 0.8, "m1b": 0.2}),
+            PipelineStage(name="s2", join=enrich_join("j2", "s1", "D"),
+                          workers=("m2",), n_partitions=4),
+        ]
+        workload = WorkloadSpec.uniform(n_partitions=8, join_rate=2.0,
+                                        tuple_range=120, interarrival=0.05)
+        config = AdaptationConfig(
+            strategy=StrategyName.LAZY_DISK, memory_threshold=6_000,
+            theta_r=0.9, tau_m=10.0, min_relocation_bytes=1024,
+            ss_interval=2.0, stats_interval=2.0, coordinator_interval=4.0,
+        )
+        tracer = Tracer()
+        dep = PipelineDeployment(stages, workload, config,
+                                 collect_results=True, tracer=tracer)
+        dep.run(duration=40, sample_interval=10)
+        dep.cleanup(materialize=True)
+        events = assert_no_violations(tracer, "pipeline-relocation")
+        done = [e.span for e in events
+                if e.phase == "E" and e.name == "relocation"
+                and e.get("status") == "done"]
+        assert done, "skewed stage completed no relocation"
+        for span in done:
+            steps = [e.get("step") for e in events
+                     if e.name == "relocation.step" and e.span == span]
+            assert steps == list(range(1, 9))
