@@ -84,7 +84,17 @@ def parse_assignment(spec: str | None, workers: list[str]) -> dict | None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: run one experiment and print its series + summary."""
+    """Entry point: run one experiment and print its series + summary.
+
+    ``python -m repro.bench regress`` dispatches to the wall-clock
+    regression micro-benchmarks instead (see :mod:`repro.bench.regress`).
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "regress":
+        from repro.bench.regress import main as regress_main
+
+        return regress_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         print("strategies:     " + ", ".join(s.value for s in StrategyName))

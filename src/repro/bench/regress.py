@@ -1,0 +1,341 @@
+"""Wall-clock regression micro-benchmarks: ``python -m repro.bench regress``.
+
+Everything else in :mod:`repro.bench` measures *simulated* time; this
+module measures the repository's own wall-clock performance, seeding the
+perf trajectory the ROADMAP asks for.  Four hot paths are timed:
+
+* ``join_*_tuples_per_s`` — tuples/sec through a 3-way join instance, on
+  the per-tuple reference path and the micro-batched path (their ratio is
+  ``join_batch_speedup``);
+* ``spill_bytes_per_s`` — spill victim selection + evict + freeze + disk
+  write, repeated until a populated store drains;
+* ``cleanup_tuples_per_s`` — the cleanup merge's incremental missing-count
+  over a chain of spill generations;
+* ``relocation_bytes_per_s`` — a full pack/install round trip (evict on
+  the sender, thaw-install on the receiver).
+
+Results go to ``benchmarks/results/BENCH_perf.json``; ``--check`` compares
+a fresh run against the committed baseline and fails the process when any
+throughput regressed by more than the tolerance (default 25%, matching the
+CI gate) or the batched join speedup fell below ``--min-speedup``.
+
+All benchmarks are single-process, allocation-heavy pure Python, so
+best-of-N repeats with modest sizes gives stable numbers; wall-clock noise
+on shared CI runners is what the 25% tolerance absorbs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+from repro.cluster.disk import Disk
+from repro.cluster.machine import Machine
+from repro.cluster.simulation import Simulator
+from repro.core.cleanup import merge_missing_count
+from repro.core.config import CostModel
+from repro.core.spill import LessProductiveSpillPolicy, SpillExecutor
+from repro.engine.state_store import StateStore
+from repro.engine.tuples import StreamTuple
+from repro.workloads.queries import three_way_join
+
+DEFAULT_OUT = pathlib.Path("benchmarks/results/BENCH_perf.json")
+SCHEMA = 1
+#: every metric in the file is a throughput: higher is better
+HIGHER_IS_BETTER = (
+    "join_per_tuple_tuples_per_s",
+    "join_batched_tuples_per_s",
+    "spill_bytes_per_s",
+    "cleanup_tuples_per_s",
+    "relocation_bytes_per_s",
+)
+
+
+# ----------------------------------------------------------------------
+# Synthetic workload
+# ----------------------------------------------------------------------
+def synth_batches(
+    n_tuples: int,
+    *,
+    batch_size: int,
+    n_partitions: int = 16,
+    key_range: int = 96,
+    streams: tuple[str, ...] = ("A", "B", "C"),
+    seed: int = 11,
+) -> list[list[tuple[int, StreamTuple]]]:
+    """Deterministic routed-tuple batches shaped like source deliveries."""
+    rng = random.Random(seed)
+    batches: list[list[tuple[int, StreamTuple]]] = []
+    current: list[tuple[int, StreamTuple]] = []
+    for seq in range(n_tuples):
+        key = rng.randrange(key_range)
+        tup = StreamTuple(
+            stream=streams[seq % len(streams)],
+            seq=seq,
+            key=key,
+            ts=seq * 0.001,
+            size=64,
+        )
+        current.append((key % n_partitions, tup))
+        if len(current) == batch_size:
+            batches.append(current)
+            current = []
+    if current:
+        batches.append(current)
+    return batches
+
+
+def _fill_store(store: StateStore, batches) -> None:
+    for batch in batches:
+        store.probe_insert_batch(batch)
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks (each returns a metrics fragment)
+# ----------------------------------------------------------------------
+def bench_join(n_tuples: int, batch_size: int, repeats: int) -> dict:
+    """Tuples/sec through a fresh 3-way join instance, both data paths.
+
+    The two paths must also agree on what they computed — a speedup that
+    changed the answer would be meaningless — so their total result counts
+    are asserted equal.
+    """
+    batches = synth_batches(n_tuples, batch_size=batch_size)
+    totals: dict[str, int] = {}
+    rates: dict[str, float] = {}
+    for mode in ("per_tuple", "batched"):
+        best = 0.0
+        for __ in range(repeats):
+            sim = Simulator()
+            instance = three_way_join().make_instance(Machine(sim, "bench"))
+            start = time.perf_counter()
+            if mode == "batched":
+                for batch in batches:
+                    instance.process_batch(batch)
+            else:
+                for batch in batches:
+                    for pid, tup in batch:
+                        instance.process(pid, tup)
+            elapsed = time.perf_counter() - start
+            best = max(best, n_tuples / elapsed)
+        totals[mode] = instance.results_count
+        rates[mode] = best
+    if totals["per_tuple"] != totals["batched"]:
+        raise AssertionError(
+            f"data paths disagree: per-tuple produced {totals['per_tuple']} "
+            f"results, batched {totals['batched']}"
+        )
+    return {
+        "join_per_tuple_tuples_per_s": rates["per_tuple"],
+        "join_batched_tuples_per_s": rates["batched"],
+        "join_batch_speedup": rates["batched"] / rates["per_tuple"],
+        "join_results": totals["batched"],
+    }
+
+
+def bench_spill(n_tuples: int, batch_size: int, repeats: int) -> dict:
+    """Bytes/sec through repeated spills until a populated store drains.
+
+    Exercises the paper's hot adaptation loop: incremental victim
+    selection (least-productive order) + evict + freeze + disk write.
+    """
+    batches = synth_batches(n_tuples, batch_size=batch_size, n_partitions=64)
+    cost = CostModel()
+    best = 0.0
+    for __ in range(repeats):
+        sim = Simulator()
+        machine = Machine(sim, "bench")
+        store = StateStore(machine, ("A", "B", "C"))
+        _fill_store(store, batches)
+        executor = SpillExecutor(machine, Disk(), store, cost)
+        policy = LessProductiveSpillPolicy()
+        start = time.perf_counter()
+        spilled = 0
+        while store.total_bytes:
+            amount = max(store.total_bytes // 10, 1)
+            outcome = executor.execute(policy, amount, now=sim.now)
+            if outcome is None:
+                break  # only empty groups remain
+            spilled += outcome.bytes_spilled
+        elapsed = time.perf_counter() - start
+        sim.run()  # drain the queued spill tasks (not part of the timing)
+        best = max(best, spilled / elapsed)
+    return {"spill_bytes_per_s": best}
+
+
+def bench_cleanup(n_tuples: int, batch_size: int, repeats: int) -> dict:
+    """Merged tuples/sec through the cleanup missing-count merge over a
+    chain of spill generations of one partition ID."""
+    generations = 6
+    streams = ("A", "B", "C")
+    per_gen = max(n_tuples // generations, 1)
+    parts = []
+    for gen in range(generations):
+        sim = Simulator()
+        store = StateStore(Machine(sim, "bench"), streams)
+        batches = synth_batches(
+            per_gen, batch_size=batch_size, n_partitions=1, seed=11 + gen
+        )
+        _fill_store(store, batches)
+        parts.extend(store.evict([0]))
+    merged_tuples = sum(p.tuple_count for p in parts)
+    best = 0.0
+    missing = 0
+    for __ in range(repeats):
+        start = time.perf_counter()
+        missing = merge_missing_count(parts, streams)
+        elapsed = time.perf_counter() - start
+        best = max(best, merged_tuples / elapsed)
+    return {"cleanup_tuples_per_s": best, "cleanup_missing": missing}
+
+
+def bench_relocation(n_tuples: int, batch_size: int, repeats: int) -> dict:
+    """Bytes/sec through a full relocation state hand-off: evict (pack) on
+    the sender, thaw + install on the receiver."""
+    batches = synth_batches(n_tuples, batch_size=batch_size, n_partitions=32)
+    best = 0.0
+    for __ in range(repeats):
+        sim = Simulator()
+        sender = StateStore(Machine(sim, "src"), ("A", "B", "C"))
+        receiver = StateStore(Machine(sim, "dst"), ("A", "B", "C"))
+        _fill_store(sender, batches)
+        pids = sender.partition_ids()
+        moved = sender.total_bytes
+        start = time.perf_counter()
+        frozen = sender.evict(pids)
+        for snapshot in frozen:
+            receiver.install(snapshot)
+        elapsed = time.perf_counter() - start
+        best = max(best, moved / elapsed)
+    return {"relocation_bytes_per_s": best}
+
+
+def run_benchmarks(
+    *, tuples: int = 60_000, batch_size: int = 25, repeats: int = 3
+) -> dict:
+    """Run the full suite; returns the ``BENCH_perf.json`` document."""
+    metrics: dict = {}
+    metrics.update(bench_join(tuples, batch_size, repeats))
+    metrics.update(bench_spill(tuples // 2, batch_size, repeats))
+    metrics.update(bench_cleanup(tuples // 10, batch_size, repeats))
+    metrics.update(bench_relocation(tuples // 2, batch_size, repeats))
+    return {
+        "schema": SCHEMA,
+        "params": {
+            "tuples": tuples,
+            "batch_size": batch_size,
+            "repeats": repeats,
+        },
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "metrics": metrics,
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (the CI gate)
+# ----------------------------------------------------------------------
+def compare(fresh: dict, baseline: dict, *, tolerance: float,
+            min_speedup: float) -> list[str]:
+    """Regression messages for ``fresh`` vs ``baseline`` (empty = pass).
+
+    A throughput metric regresses when it falls more than ``tolerance``
+    (a fraction) below the baseline; improvements never fail.  The batched
+    join speedup is additionally gated absolutely, so the batched path
+    cannot quietly decay back to per-tuple cost even across baseline
+    refreshes.
+    """
+    problems: list[str] = []
+    base_metrics = baseline.get("metrics", {})
+    new_metrics = fresh.get("metrics", {})
+    for name in HIGHER_IS_BETTER:
+        base = base_metrics.get(name)
+        new = new_metrics.get(name)
+        if base is None or new is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        if new < floor:
+            problems.append(
+                f"{name}: {new:,.0f}/s is {1 - new / base:.0%} below the "
+                f"baseline {base:,.0f}/s (tolerance {tolerance:.0%})"
+            )
+    speedup = new_metrics.get("join_batch_speedup")
+    if speedup is not None and speedup < min_speedup:
+        problems.append(
+            f"join_batch_speedup: {speedup:.2f}x is below the required "
+            f"{min_speedup:.2f}x"
+        )
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench regress",
+        description="Run the wall-clock regression micro-benchmarks.",
+    )
+    parser.add_argument("--tuples", type=int, default=60_000,
+                        help="tuples through the join benchmark (default 60000)")
+    parser.add_argument("--batch-size", type=int, default=25,
+                        help="tuples per delivered batch (default 25)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per benchmark (default 3)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"result file (default {DEFAULT_OUT})")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="baseline for --check (default: the --out path "
+                             "as committed, read before overwriting)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression vs the baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("REPRO_PERF_TOLERANCE",
+                                                     "0.25")),
+                        help="allowed fractional throughput drop (default "
+                             "0.25, env REPRO_PERF_TOLERANCE)")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="required batched/per-tuple join speedup under "
+                             "--check (default 1.2)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    baseline = None
+    baseline_path = args.baseline or args.out
+    if args.check and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    document = run_benchmarks(
+        tuples=args.tuples, batch_size=args.batch_size, repeats=args.repeats
+    )
+    metrics = document["metrics"]
+    print("wall-clock regression benchmarks")
+    for name in HIGHER_IS_BETTER:
+        print(f"  {name:<30} {metrics[name]:>14,.0f}/s")
+    print(f"  {'join_batch_speedup':<30} {metrics['join_batch_speedup']:>13.2f}x")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"[results written to {args.out}]")
+
+    if args.check:
+        if baseline is None:
+            print(f"[no baseline at {baseline_path}; gate skipped]")
+            return 0
+        problems = compare(document, baseline,
+                           tolerance=args.tolerance,
+                           min_speedup=args.min_speedup)
+        if problems:
+            print("PERFORMANCE REGRESSION:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("[within tolerance of baseline]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.bench
+    sys.exit(main())

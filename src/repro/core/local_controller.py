@@ -140,4 +140,12 @@ class LocalAdaptationController:
             )
             total = sum(self.store.peek(p).size_bytes for p in pids)
             return pids, total
+        if type(self.estimator) is CumulativeProductivity:
+            # served from the store's lazy victim index: same parts, same
+            # order as the ranked path, without re-sorting every group
+            from repro.engine.state_store import ORDER_PRODUCTIVITY_DESC
+
+            pids = tuple(self.store.pick_victims(ORDER_PRODUCTIVITY_DESC, amount))
+            total = sum(self.store.peek(p).size_bytes for p in pids)
+            return pids, total
         return select_relocation_parts(list(self.store.groups()), amount, self.estimator)

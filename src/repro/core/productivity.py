@@ -8,6 +8,15 @@ recent behaviour more heavily — :class:`WindowedProductivity` implements
 that amortised-weight variant, and the estimator protocol keeps the two
 interchangeable ("alternative cost models could be easily plugged into our
 system").
+
+The rankings below re-sort all groups on every call — the correct general
+path for stateful estimators like :class:`WindowedProductivity`, whose
+scores change on `observe` ticks without the groups themselves mutating.
+For the stateless :class:`CumulativeProductivity` (scores are a pure
+function of current group state), the spill policies and the local
+controller instead read the store's incrementally maintained victim index
+(`StateStore.pick_victims`, DESIGN.md §9), which yields the same order —
+including the pid tie-breaks — without the full sort.
 """
 
 from __future__ import annotations

@@ -27,7 +27,12 @@ from repro.cluster.machine import PRIORITY_CONTROL, DynamicTask, Machine
 from repro.core.config import CostModel, SpillPolicyName
 from repro.core.productivity import CumulativeProductivity, ProductivityEstimator
 from repro.engine.partitions import PartitionGroup
-from repro.engine.state_store import StateStore
+from repro.engine.state_store import (
+    ORDER_PRODUCTIVITY_ASC,
+    ORDER_PRODUCTIVITY_DESC,
+    ORDER_SIZE_DESC,
+    StateStore,
+)
 from repro.obs.trace import NULL_TRACER
 
 
@@ -61,6 +66,16 @@ class SpillPolicy(ABC):
                 break
         return victims
 
+    def select_victims(self, store: StateStore, amount: int) -> list[int]:
+        """Victim IDs straight from a state store.
+
+        The base implementation materialises and sorts every live group
+        through :meth:`select`; policies backed by the store's lazy victim
+        index override this to pick victims in O(k log n) without the full
+        re-sort, returning exactly the same IDs in the same order.
+        """
+        return self.select(list(store.groups()), amount)
+
 
 class RandomSpillPolicy(SpillPolicy):
     """Uniformly random victims — the paper's Figure 5/6 sensitivity runs,
@@ -85,6 +100,9 @@ class LargestFirstSpillPolicy(SpillPolicy):
     def order(self, groups: Sequence[PartitionGroup]) -> list[PartitionGroup]:
         return sorted(groups, key=lambda g: (-g.size_bytes, g.pid))
 
+    def select_victims(self, store: StateStore, amount: int) -> list[int]:
+        return store.pick_victims(ORDER_SIZE_DESC, amount)
+
 
 class LessProductiveSpillPolicy(SpillPolicy):
     """Ascending productivity — the paper's throughput-oriented policy."""
@@ -97,6 +115,13 @@ class LessProductiveSpillPolicy(SpillPolicy):
     def order(self, groups: Sequence[PartitionGroup]) -> list[PartitionGroup]:
         return self.estimator.rank_ascending(groups)
 
+    def select_victims(self, store: StateStore, amount: int) -> list[int]:
+        # the store's index orders by the cumulative metric; any other
+        # estimator (e.g. the EWMA variant) needs the generic ranked path
+        if type(self.estimator) is CumulativeProductivity:
+            return store.pick_victims(ORDER_PRODUCTIVITY_ASC, amount)
+        return super().select_victims(store, amount)
+
 
 class MoreProductiveSpillPolicy(SpillPolicy):
     """Descending productivity — Figure 7's adversarial baseline."""
@@ -108,6 +133,11 @@ class MoreProductiveSpillPolicy(SpillPolicy):
 
     def order(self, groups: Sequence[PartitionGroup]) -> list[PartitionGroup]:
         return self.estimator.rank_descending(groups)
+
+    def select_victims(self, store: StateStore, amount: int) -> list[int]:
+        if type(self.estimator) is CumulativeProductivity:
+            return store.pick_victims(ORDER_PRODUCTIVITY_DESC, amount)
+        return super().select_victims(store, amount)
 
 
 def make_spill_policy(
@@ -176,7 +206,7 @@ class SpillExecutor:
         + write duration; ``on_done(outcome)`` fires when the disk write
         completes.
         """
-        victims = policy.select(list(self.store.groups()), amount)
+        victims = policy.select_victims(self.store, amount)
         if not victims:
             return None
         frozen = self.store.evict(victims)

@@ -99,79 +99,42 @@ class MJoinInstance:
     def process(
         self, pid: int, tup: StreamTuple, *, now: float = 0.0, materialize: bool = False
     ) -> tuple[int, list[JoinResult]]:
-        """Probe-then-insert one routed tuple (see module docstring)."""
+        """Probe-then-insert one routed tuple (see module docstring).
+
+        Windowed and unwindowed joins share
+        :meth:`~repro.engine.state_store.StateStore.probe_insert`, so both
+        go through the same accounting funnel — in particular the per-pid
+        mutation counter incremental checkpoints depend on (a windowed
+        side-path that skipped it once caused stale snapshots and silent
+        state loss after crashes).
+        """
         self.tuples_in += 1
-        if self.join.window is None:
-            count, results = self.store.probe_insert(
-                pid, tup, now=now, materialize=materialize
-            )
-        else:
-            count, results = self._windowed_probe_insert(
-                pid, tup, now=now, materialize=materialize
-            )
+        count, results = self.store.probe_insert(
+            pid, tup, now=now, materialize=materialize, window=self.join.window
+        )
         self.results_count += count
         return count, results
 
-    def _windowed_probe_insert(
-        self, pid: int, tup: StreamTuple, *, now: float, materialize: bool
+    def process_batch(
+        self,
+        batch: list[tuple[int, StreamTuple]],
+        *,
+        now: float = 0.0,
+        materialize: bool = False,
     ) -> tuple[int, list[JoinResult]]:
-        """Window-filtered variant of the probe-insert step.
+        """Probe-then-insert a whole delivered batch (micro-batched path).
 
-        Match lists are filtered to tuples within ``window`` seconds of the
-        probing tuple before counting/materialising.  Window filtering makes
-        the result count data-dependent in a way the plain count-product
-        shortcut cannot express, so this path walks the candidates.
+        Produces exactly the results and statistics of calling
+        :meth:`process` per tuple in batch order, with the cross-tuple
+        bookkeeping amortised (see
+        :meth:`~repro.engine.state_store.StateStore.probe_insert_batch`).
         """
-        window = self.join.window
-        assert window is not None
-        group = self.store.group(pid, now=now)
-        match_lists: list[list[StreamTuple]] = []
-        streams = group.streams
-        ok = True
-        for stream in streams:
-            if stream == tup.stream:
-                continue
-            candidates = [
-                m
-                for bucket in (group._data[stream].get(tup.key),)
-                if bucket
-                for m in bucket
-                if abs(m.ts - tup.ts) <= window
-            ]
-            if not candidates:
-                ok = False
-                break
-            match_lists.append(candidates)
-        count = 0
-        results: list[JoinResult] = []
-        if ok:
-            # the window is pairwise: every pair of joined tuples must be
-            # within ``window`` seconds, i.e. max(ts) - min(ts) <= window.
-            # Filtering against the probe alone is insufficient for m >= 3
-            # (two matches can straddle the probe), so combinations are
-            # enumerated.
-            from itertools import product
-
-            own_index = streams.index(tup.stream)
-            for combo in product(*match_lists):
-                ts_values = [t.ts for t in combo]
-                ts_values.append(tup.ts)
-                if max(ts_values) - min(ts_values) > window:
-                    continue
-                count += 1
-                if materialize:
-                    parts = list(combo)
-                    parts.insert(own_index, tup)
-                    results.append(
-                        JoinResult(key=tup.key, parts=tuple(parts), ts=tup.ts)
-                    )
-        group.insert(tup)
-        group.record_output(count)
-        self.store.machine.allocate(tup.size)
-        self.store.total_bytes += tup.size
-        self.store.outputs_total += count
-        self.store.tuples_processed += 1
-        return count, results
+        self.tuples_in += len(batch)
+        total, results = self.store.probe_insert_batch(
+            batch, now=now, materialize=materialize, window=self.join.window
+        )
+        self.results_count += total
+        return total, results
 
     def purge_window(self, watermark: float) -> int:
         """Drop tuples older than ``watermark - window`` from every group.
@@ -180,34 +143,16 @@ class MJoinInstance:
         again, so their memory is reclaimed.  Returns the number of tuples
         purged.  This is the state-purging alternative the paper contrasts
         with (its own setting has no window, hence the monotonic growth that
-        motivates spill/relocation).
+        motivates spill/relocation).  Purged groups are marked mutated so
+        incremental checkpoints re-snapshot them, and their recorded
+        outputs are scaled to the surviving payload so productivity is not
+        inflated (see
+        :meth:`~repro.engine.state_store.StateStore.purge_window`).
         """
         window = self.join.window
         if window is None:
             raise ValueError("purge_window requires a windowed join")
-        horizon = watermark - window
-        purged = 0
-        for group in list(self.store.groups()):
-            freed = 0
-            for stream in group.streams:
-                table = group._data[stream]
-                for key in list(table):
-                    bucket = table[key]
-                    keep = [t for t in bucket if t.ts >= horizon]
-                    if len(keep) != len(bucket):
-                        dropped = len(bucket) - len(keep)
-                        purged += dropped
-                        freed += sum(t.size for t in bucket if t.ts < horizon)
-                        group.tuple_count -= dropped
-                        if keep:
-                            table[key] = keep
-                        else:
-                            del table[key]
-            if freed:
-                group.size_bytes -= freed
-                self.machine.release(freed)
-                self.store.total_bytes -= freed
-        return purged
+        return self.store.purge_window(watermark - window)
 
     @property
     def memory_bytes(self) -> int:

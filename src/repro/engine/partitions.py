@@ -128,11 +128,88 @@ class PartitionGroup:
                 results.append(JoinResult(key=tup.key, parts=tuple(parts), ts=tup.ts))
         return count, results
 
+    def probe_windowed(
+        self, tup: StreamTuple, window: float, *, materialize: bool = False
+    ) -> tuple[int, list[JoinResult]]:
+        """Window-filtered variant of :meth:`probe`.
+
+        Match lists are filtered to tuples within ``window`` seconds of the
+        probing tuple before counting/materialising.  The window is
+        pairwise: every pair of joined tuples must be within ``window``
+        seconds, i.e. ``max(ts) - min(ts) <= window``.  Filtering against
+        the probe alone is insufficient for m >= 3 (two matches can
+        straddle the probe), so combinations are enumerated — the result
+        count is data-dependent in a way the plain count-product shortcut
+        cannot express.
+        """
+        match_lists: list[list[StreamTuple]] = []
+        for stream in self.streams:
+            if stream == tup.stream:
+                continue
+            bucket = self._data[stream].get(tup.key)
+            if not bucket:
+                return 0, []
+            candidates = [m for m in bucket if abs(m.ts - tup.ts) <= window]
+            if not candidates:
+                return 0, []
+            match_lists.append(candidates)
+        count = 0
+        results: list[JoinResult] = []
+        own_index = self.streams.index(tup.stream)
+        for combo in product(*match_lists):
+            ts_values = [t.ts for t in combo]
+            ts_values.append(tup.ts)
+            if max(ts_values) - min(ts_values) > window:
+                continue
+            count += 1
+            if materialize:
+                parts = list(combo)
+                parts.insert(own_index, tup)
+                results.append(JoinResult(key=tup.key, parts=tuple(parts), ts=tup.ts))
+        return count, results
+
     def record_output(self, count: int) -> None:
         """Credit ``count`` produced results to this group's statistics."""
         if count < 0:
             raise ValueError(f"negative output count {count!r}")
         self.output_count += count
+
+    def purge_older_than(self, horizon: float) -> tuple[int, int]:
+        """Drop every tuple with ``ts < horizon``; returns
+        ``(tuples_dropped, bytes_freed)``.
+
+        Purging removes payload while ``output_count`` records lifetime
+        results, which left alone would inflate ``P_output / P_size`` of
+        purged groups and bias victim selection toward keeping them.  To
+        keep the productivity estimate meaningful, the recorded outputs
+        are attributed uniformly across the resident payload and scaled
+        down by the surviving fraction (integer floor keeps the counter
+        exact and deterministic), so the ratio is preserved across a purge.
+        """
+        dropped = 0
+        freed = 0
+        for stream in self.streams:
+            table = self._data[stream]
+            for key in list(table):
+                bucket = table[key]
+                keep = [t for t in bucket if t.ts >= horizon]
+                if len(keep) != len(bucket):
+                    dropped += len(bucket) - len(keep)
+                    freed += sum(t.size for t in bucket if t.ts < horizon)
+                    if keep:
+                        table[key] = keep
+                    else:
+                        del table[key]
+        if dropped:
+            payload_before = self.size_bytes - GROUP_OVERHEAD_BYTES
+            self.tuple_count -= dropped
+            self.size_bytes -= freed
+            payload_after = self.size_bytes - GROUP_OVERHEAD_BYTES
+            if payload_before > 0:
+                self.output_count = (
+                    self.output_count * max(payload_after, 0) // payload_before
+                )
+        return dropped, freed
 
     # ------------------------------------------------------------------
     # Statistics

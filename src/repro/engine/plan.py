@@ -86,6 +86,11 @@ class Deployment:
         server machine (the paper's setup) instead of crediting them at
         the producing engine.  Off by default — delivery cost is not a
         studied factor in the paper's figures.
+    batched_data_path:
+        Process delivered tuple batches through the amortised store entry
+        point (default).  ``False`` selects the per-tuple reference path;
+        the two produce byte-identical outputs and traces, so this switch
+        exists for equivalence testing and benchmarking only.
     payload_fn:
         Optional payload builder passed to the tuple generators.
     memory_capacity:
@@ -113,6 +118,7 @@ class Deployment:
         payload_fn=None,
         memory_capacity: int | None = None,
         ship_results: bool = False,
+        batched_data_path: bool = True,
         seed: int = 11,
         tracer=None,
     ) -> None:
@@ -225,6 +231,7 @@ class Deployment:
                 self.collector,
                 materialize=materialize,
                 app_server=app_name,
+                batched=batched_data_path,
                 seed=seed + i,
             )
             for i, name in enumerate(workers)

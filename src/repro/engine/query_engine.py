@@ -90,6 +90,7 @@ class QueryEngine:
         coordinator_name: str = GC_NAME,
         materialize: bool = False,
         app_server: str | None = None,
+        batched: bool = True,
         seed: int = 11,
     ) -> None:
         self.sim = sim
@@ -103,6 +104,10 @@ class QueryEngine:
         self.collector = collector
         self.coordinator_name = coordinator_name
         self.materialize = materialize
+        #: process delivered batches through the amortised store entry
+        #: point (``False`` falls back to the per-tuple reference path;
+        #: both produce byte-identical outputs and traces)
+        self.batched = batched
         #: when set, result batches ship over the network to this machine
         #: (the paper's application server) instead of being credited
         #: locally
@@ -246,15 +251,20 @@ class QueryEngine:
         )
 
     def _process_batch(self, batch: list[tuple[int, StreamTuple]]):
-        total = 0
-        collected = []
-        for pid, tup in batch:
-            count, results = self.instance.process(
-                pid, tup, now=self.sim.now, materialize=self.materialize
+        if self.batched:
+            total, collected = self.instance.process_batch(
+                batch, now=self.sim.now, materialize=self.materialize
             )
-            total += count
-            if results:
-                collected.extend(results)
+        else:
+            total = 0
+            collected = []
+            for pid, tup in batch:
+                count, results = self.instance.process(
+                    pid, tup, now=self.sim.now, materialize=self.materialize
+                )
+                total += count
+                if results:
+                    collected.extend(results)
         duration = len(batch) * self.cost.probe_cost + total * self.cost.result_cost
 
         def finish() -> None:

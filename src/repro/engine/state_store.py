@@ -14,7 +14,9 @@ aggregates (total bytes, output delta, group count) for the coordinator.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from heapq import heapify, heappop, heappush
+from itertools import count as _counter
+from typing import Callable, Iterable, Iterator
 
 from repro.cluster.machine import Machine
 from repro.engine.partitions import (
@@ -23,6 +25,91 @@ from repro.engine.partitions import (
     PartitionGroup,
 )
 from repro.engine.tuples import JoinResult, StreamTuple
+
+#: Victim-index order names (see :meth:`StateStore.pick_victims`).
+ORDER_PRODUCTIVITY_ASC = "productivity_asc"
+ORDER_PRODUCTIVITY_DESC = "productivity_desc"
+ORDER_SIZE_DESC = "size_desc"
+
+
+class _LazyOrderHeap:
+    """One lazily-repaired victim ordering over a store's live groups.
+
+    The data path never pays heap costs: a mutated group is only *marked*
+    dirty (one ``set.add``), and the heap entry is (re)built the next time
+    an ordered read happens.  Entries are ``(key, pid, seq)`` where ``seq``
+    is a store-wide monotonic push counter; an entry is valid only while
+    its ``seq`` is still the latest pushed for that pid (classic lazy
+    deletion), so stale entries cost one pop each and nothing more.
+    Groups consumed by an ordered read are re-marked dirty, since the read
+    invalidated their position without observing a mutation.
+
+    The ordering produced depends only on the current group statistics —
+    never on when reads happened — so batched and per-tuple data paths
+    drive identical victim selections.
+    """
+
+    __slots__ = ("_key", "_heap", "_latest", "_dirty")
+
+    def __init__(self, key: Callable[[PartitionGroup], tuple]) -> None:
+        self._key = key
+        self._heap: list[tuple] = []
+        self._latest: dict[int, int] = {}
+        self._dirty: set[int] = set()
+
+    def mark(self, pid: int) -> None:
+        self._dirty.add(pid)
+
+    def discard(self, pid: int) -> None:
+        """Forget a group that left the store (evict / crash)."""
+        self._latest.pop(pid, None)
+        self._dirty.discard(pid)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._latest.clear()
+        self._dirty.clear()
+
+    def iterate(
+        self, groups: dict[int, PartitionGroup], counter
+    ) -> Iterator[PartitionGroup]:
+        """Yield live groups in key order (lazy repair happens here)."""
+        heap, latest, key = self._heap, self._latest, self._key
+        if len(heap) > 64 and len(heap) > 4 * len(groups):
+            # compact: too many stale entries — rebuild from the live set
+            self._dirty.clear()
+            latest.clear()
+            heap.clear()
+            for pid, grp in groups.items():
+                seq = next(counter)
+                latest[pid] = seq
+                heap.append((key(grp), pid, seq))
+            heapify(heap)
+        elif self._dirty:
+            for pid in sorted(self._dirty):
+                grp = groups.get(pid)
+                if grp is None:
+                    latest.pop(pid, None)
+                    continue
+                seq = next(counter)
+                latest[pid] = seq
+                heappush(heap, (key(grp), pid, seq))
+            self._dirty.clear()
+        consumed: list[int] = []
+        try:
+            while heap:
+                __, pid, seq = heappop(heap)
+                if latest.get(pid) != seq:
+                    continue  # superseded by a later push
+                del latest[pid]
+                grp = groups.get(pid)
+                if grp is None:
+                    continue
+                consumed.append(pid)
+                yield grp
+        finally:
+            for pid in consumed:
+                self._dirty.add(pid)
 
 
 class StateStore:
@@ -50,6 +137,36 @@ class StateStore:
         #: their last snapshot; counters vanish with their group on evict or
         #: crash, so a re-created group always reads as dirty.
         self.mutations: dict[int, int] = {}
+        #: Lazily-repaired victim orderings shared by the spill policies,
+        #: the relocation part picker, and :meth:`productivity_snapshot`.
+        #: Mutation sites mark entries dirty through :meth:`_touch`; the
+        #: heaps repair themselves on the next ordered read, so policy
+        #: decisions cost O(k log n) instead of a full O(n log n) re-sort.
+        self._victim_seq = _counter()
+        self._victim_heaps: dict[str, _LazyOrderHeap] = {
+            ORDER_PRODUCTIVITY_ASC: _LazyOrderHeap(
+                lambda g: (g.productivity, g.pid)
+            ),
+            ORDER_PRODUCTIVITY_DESC: _LazyOrderHeap(
+                lambda g: (-g.productivity, g.pid)
+            ),
+            ORDER_SIZE_DESC: _LazyOrderHeap(
+                lambda g: (-g.size_bytes, g.pid)
+            ),
+        }
+
+    def _touch(self, pid: int, count: int = 1) -> None:
+        """Record ``count`` mutations of one live group.
+
+        The single funnel every mutation site goes through: it advances the
+        incremental-checkpoint dirty counter *and* invalidates the group's
+        victim-index entries, so a new mutation path cannot forget one of
+        the two and silently reintroduce the checkpoint-staleness bug class
+        (or serve victim selections from stale scores).
+        """
+        self.mutations[pid] = self.mutations.get(pid, 0) + count
+        for heap in self._victim_heaps.values():
+            heap.mark(pid)
 
     # ------------------------------------------------------------------
     # Group access
@@ -64,6 +181,10 @@ class StateStore:
             self._groups[pid] = grp
             self.machine.allocate(GROUP_OVERHEAD_BYTES)
             self.total_bytes += GROUP_OVERHEAD_BYTES
+            # index the newborn group (creation is not a checkpoint-relevant
+            # mutation — an unseen pid already reads as dirty there)
+            for heap in self._victim_heaps.values():
+                heap.mark(pid)
         return grp
 
     def peek(self, pid: int) -> PartitionGroup | None:
@@ -86,21 +207,104 @@ class StateStore:
     # Data path
     # ------------------------------------------------------------------
     def probe_insert(
-        self, pid: int, tup: StreamTuple, *, now: float = 0.0, materialize: bool = False
+        self,
+        pid: int,
+        tup: StreamTuple,
+        *,
+        now: float = 0.0,
+        materialize: bool = False,
+        window: float | None = None,
     ) -> tuple[int, list[JoinResult]]:
         """Symmetric-hash-join step: probe the other inputs of ``pid``'s
         group, then insert the tuple.  Returns the produced result count
-        (and the results themselves when ``materialize`` is set)."""
+        (and the results themselves when ``materialize`` is set).
+
+        With ``window`` set, matches are filtered to the sliding window
+        before counting.  Both variants share this accounting funnel, so
+        windowed groups are checkpoint-dirty and victim-indexed exactly
+        like unwindowed ones.
+        """
         grp = self.group(pid, now=now)
-        count, results = grp.probe(tup, materialize=materialize)
+        if window is None:
+            count, results = grp.probe(tup, materialize=materialize)
+        else:
+            count, results = grp.probe_windowed(tup, window, materialize=materialize)
         grp.insert(tup)
         grp.record_output(count)
         self.machine.allocate(tup.size)
         self.total_bytes += tup.size
         self.outputs_total += count
         self.tuples_processed += 1
-        self.mutations[pid] = self.mutations.get(pid, 0) + 1
+        self._touch(pid)
         return count, results
+
+    def probe_insert_batch(
+        self,
+        batch: list[tuple[int, StreamTuple]],
+        *,
+        now: float = 0.0,
+        materialize: bool = False,
+        window: float | None = None,
+    ) -> tuple[int, list[JoinResult]]:
+        """Probe-insert a whole delivered batch of routed tuples.
+
+        Semantically identical to calling :meth:`probe_insert` per tuple in
+        batch order — same probe/insert interleaving, same per-pid mutation
+        counter values, same victim orderings — but the cross-tuple
+        bookkeeping is amortised: one ``machine.allocate`` for the batch's
+        bytes (memory only grows inside a data task, so the high-water mark
+        is unchanged), one store-counter update, and one mutation/index
+        update per *touched group* instead of per tuple.  Returns
+        ``(total_count, results)`` summed over the batch.
+        """
+        groups = self._groups
+        streams = self.streams
+        total = 0
+        collected: list[JoinResult] = []
+        added = 0
+        touched: dict[int, int] = {}
+        for pid, tup in batch:
+            grp = groups.get(pid)
+            if grp is None:
+                grp = self.group(pid, now=now)
+            if window is None:
+                # inlined PartitionGroup.probe fast path: count the product
+                # of the other inputs' match-list lengths
+                if materialize:
+                    count, results = grp.probe(tup, materialize=True)
+                    if results:
+                        collected.extend(results)
+                else:
+                    data = grp._data
+                    key = tup.key
+                    count = 1
+                    for stream in streams:
+                        if stream == tup.stream:
+                            continue
+                        matches = data[stream].get(key)
+                        if not matches:
+                            count = 0
+                            break
+                        count *= len(matches)
+            else:
+                count, results = grp.probe_windowed(
+                    tup, window, materialize=materialize
+                )
+                if results:
+                    collected.extend(results)
+            grp.insert(tup)
+            grp.output_count += count
+            total += count
+            added += tup.size
+            touched[pid] = touched.get(pid, 0) + 1
+        if added:
+            self.machine.allocate(added)
+            self.total_bytes += added
+        self.outputs_total += total
+        self.tuples_processed += len(batch)
+        for pid, mutation_count in touched.items():
+            self._touch(pid, mutation_count)
+        return total, collected
 
     # ------------------------------------------------------------------
     # Adaptation paths
@@ -124,6 +328,8 @@ class StateStore:
             self.machine.release(grp.size_bytes)
             self.total_bytes -= grp.size_bytes
             self.mutations.pop(pid, None)
+            for heap in self._victim_heaps.values():
+                heap.discard(pid)
         return frozen
 
     def install(self, frozen: FrozenPartitionGroup, *, now: float = 0.0) -> PartitionGroup:
@@ -139,21 +345,92 @@ class StateStore:
         self._next_generation[frozen.pid] = max(nxt, frozen.generation + 1)
         self.machine.allocate(grp.size_bytes)
         self.total_bytes += grp.size_bytes
-        self.outputs_total += 0  # installs carry no new outputs
-        self.mutations[frozen.pid] = self.mutations.get(frozen.pid, 0) + 1
+        # installs carry no new outputs; they do dirty the group
+        self._touch(frozen.pid)
         return grp
+
+    def purge_window(self, horizon: float) -> int:
+        """Drop tuples with ``ts < horizon`` from every live group,
+        releasing their memory.  Returns the number of tuples purged.
+
+        Every purged group goes through :meth:`_touch`, so incremental
+        checkpoints re-snapshot it (a stale snapshot would resurrect
+        expired tuples — and their duplicate results — after a crash) and
+        victim orderings see the post-purge statistics.  The productivity
+        normalisation lives in
+        :meth:`~repro.engine.partitions.PartitionGroup.purge_older_than`.
+        """
+        purged = 0
+        for pid, group in list(self._groups.items()):
+            dropped, freed = group.purge_older_than(horizon)
+            if not dropped:
+                continue
+            purged += dropped
+            if freed:
+                self.machine.release(freed)
+                self.total_bytes -= freed
+            self._touch(pid)
+        return purged
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
-    def productivity_snapshot(self) -> list[tuple[int, int, int, float]]:
+    def iter_in_order(self, order: str) -> Iterator[PartitionGroup]:
+        """Live groups in one of the victim-index orders
+        (:data:`ORDER_PRODUCTIVITY_ASC` / :data:`ORDER_PRODUCTIVITY_DESC` /
+        :data:`ORDER_SIZE_DESC`), served incrementally from the lazy heap.
+
+        Callers that stop early must close the generator (or exhaust it);
+        a plain ``for`` loop that ``break``s should be wrapped in
+        ``contextlib.closing`` — or use :meth:`pick_victims` /
+        :meth:`productivity_snapshot`, which handle it.
+        """
+        return self._victim_heaps[order].iterate(self._groups, self._victim_seq)
+
+    def pick_victims(self, order: str, amount: int) -> list[int]:
+        """Non-empty groups in victim order until their sizes reach
+        ``amount`` bytes (the boundary-crossing group included, matching
+        the paper's always-make-progress selection rule).
+
+        This is the incremental replacement for sorting all groups on
+        every adaptation decision: cost O(d log n + k log n) for d dirty
+        groups and k selected victims.
+        """
+        if amount <= 0:
+            return []
+        victims: list[int] = []
+        accumulated = 0
+        it = self.iter_in_order(order)
+        try:
+            for group in it:
+                if group.is_empty:
+                    continue
+                victims.append(group.pid)
+                accumulated += group.size_bytes
+                if accumulated >= amount:
+                    break
+        finally:
+            it.close()
+        return victims
+
+    def productivity_snapshot(
+        self, limit: int | None = None
+    ) -> list[tuple[int, int, int, float]]:
         """Per-group ``(pid, size_bytes, output_count, productivity)`` rows,
-        ordered by ascending productivity (spill-victim order)."""
-        rows = [
-            (g.pid, g.size_bytes, g.output_count, g.productivity)
-            for g in self._groups.values()
-        ]
-        rows.sort(key=lambda r: (r[3], r[0]))
+        ordered by ascending productivity (spill-victim order).
+
+        Served from the lazy victim index: O(k log n) for the ``limit``
+        rows actually consumed instead of a full re-sort per call.
+        """
+        rows: list[tuple[int, int, int, float]] = []
+        it = self.iter_in_order(ORDER_PRODUCTIVITY_ASC)
+        try:
+            for g in it:
+                rows.append((g.pid, g.size_bytes, g.output_count, g.productivity))
+                if limit is not None and len(rows) >= limit:
+                    break
+        finally:
+            it.close()
         return rows
 
     @property
@@ -182,5 +459,7 @@ class StateStore:
             self._next_generation[pid] = grp.generation + 1
         self._groups.clear()
         self.mutations.clear()
+        for heap in self._victim_heaps.values():
+            heap.clear()
         self.total_bytes = 0
         return lost
