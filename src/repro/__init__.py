@@ -46,7 +46,14 @@ from repro.core.strategies import (
 from repro.engine.pipeline import PipelineDeployment, PipelineStage
 from repro.engine.plan import Deployment
 from repro.engine.tuples import JoinResult, Schema, StreamTuple
-from repro.obs import InvariantChecker, Tracer, check_trace
+from repro.obs import (
+    DecisionLedger,
+    InvariantChecker,
+    MetricsRegistry,
+    Tracer,
+    check_ledger_trace,
+    check_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -55,8 +62,10 @@ __all__ = [
     "CheckpointMode",
     "CheckpointTarget",
     "CostModel",
+    "DecisionLedger",
     "Deployment",
     "InvariantChecker",
+    "MetricsRegistry",
     "JoinResult",
     "PipelineDeployment",
     "PipelineStage",
@@ -70,6 +79,7 @@ __all__ = [
     "__version__",
     "active_disk_config",
     "baseline_config",
+    "check_ledger_trace",
     "check_trace",
     "lazy_disk_config",
 ]

@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-chrome", metavar="PATH", default=None,
                         help="also write the trace in Chrome trace_event "
                              "format (chrome://tracing / Perfetto) to PATH")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="record the adaptation decision ledger and "
+                             "write a self-contained run file (decisions + "
+                             "sampled series) to PATH; render it with "
+                             "`python -m repro.obs report PATH`")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write the unified metrics registry in "
+                             "Prometheus text format to PATH")
     parser.add_argument("--list", action="store_true",
                         help="list strategies and spill policies, then exit")
     return parser
@@ -102,10 +110,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     tracer = None
-    if args.trace or args.trace_chrome:
+    if args.trace or args.trace_chrome or args.ledger:
         from repro.obs.trace import Tracer
 
         tracer = Tracer()
+    ledger = None
+    if args.ledger:
+        from repro.obs.ledger import DecisionLedger
+
+        ledger = DecisionLedger()
 
     workers = [f"m{i + 1}" for i in range(args.workers)]
     duration = args.minutes * 60.0
@@ -134,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
         with_cleanup=not args.no_cleanup,
         seed=args.seed,
         tracer=tracer,
+        ledger=ledger,
     )
 
     if tracer is not None:
@@ -143,6 +157,26 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_chrome:
             tracer.write_chrome(args.trace_chrome)
             print(f"[chrome trace written to {args.trace_chrome}]")
+    if ledger is not None:
+        from repro.obs.ledger import write_run_jsonl
+
+        write_run_jsonl(
+            args.ledger,
+            ledger=ledger,
+            registry=result.deployment.metrics.registry,
+            meta={
+                "strategy": args.strategy,
+                "spill_policy": args.spill_policy,
+                "workers": args.workers,
+                "duration_s": duration,
+                "threshold_bytes": int(args.threshold_kb * 1000),
+                "seed": args.seed,
+            },
+        )
+        print(f"[run file written to {args.ledger}]")
+    if args.metrics:
+        result.deployment.metrics.registry.write_prometheus(args.metrics)
+        print(f"[metrics written to {args.metrics}]")
 
     times = sample_times(duration, sample_interval)
     print(series_table({"outputs": result.outputs}, times))

@@ -1,9 +1,10 @@
 """Experiment runner shared by all benchmarks.
 
 Setting ``REPRO_TRACE=check`` in the environment makes every
-:func:`run_experiment` call record a structured adaptation trace and
-assert the protocol invariants (:mod:`repro.obs`) after the run — the
-whole figure suite can be audited with::
+:func:`run_experiment` call record a structured adaptation trace *and* a
+decision ledger, then assert the protocol invariants (:mod:`repro.obs`)
+after the run — including the ledger↔trace bijection and the offline
+decision replay — so the whole figure suite can be audited with::
 
     REPRO_TRACE=check pytest benchmarks/ --benchmark-only
 """
@@ -69,6 +70,7 @@ def run_experiment(
     join=None,
     seed: int = 11,
     tracer=None,
+    ledger=None,
 ) -> RunResult:
     """Build, run, and optionally clean up one configuration.
 
@@ -82,6 +84,10 @@ def run_experiment(
 
         tracer = Tracer()
         check_invariants = True
+        if ledger is None:
+            from repro.obs.ledger import DecisionLedger
+
+            ledger = DecisionLedger()
     overrides = dict(
         memory_threshold=memory_threshold,
         ss_interval=5.0,
@@ -101,6 +107,7 @@ def run_experiment(
         batch_size=batch_size,
         seed=seed,
         tracer=tracer,
+        ledger=ledger,
     )
     deployment.run(duration=duration, sample_interval=sample_interval)
     result = RunResult(label=label, deployment=deployment)
@@ -109,7 +116,10 @@ def run_experiment(
     if check_invariants:
         from repro.obs import check_trace
 
-        violations = check_trace(tracer.events)
+        violations = check_trace(
+            tracer.events,
+            ledger_entries=ledger.entries if ledger is not None else None,
+        )
         if violations:
             lines = "\n".join(f"  {v}" for v in violations)
             raise AssertionError(

@@ -5,87 +5,32 @@ Every figure in the paper is a time series — cumulative output tuples
 6/10).  :class:`MetricsHub` is the single collection point the harness
 samples on a fixed interval and the adaptation machinery appends discrete
 events to (each "zag" in Figure 6 is one :class:`AdaptationEvent`).
+
+Since PR 5 the hub is a thin shim over the unified
+:class:`~repro.obs.metrics.MetricsRegistry`: every named series is a
+*tracked gauge* in the registry, ``bump`` counters are registry counters,
+and each adaptation event also feeds the
+``repro_adaptation_events_total`` counter family plus byte/duration
+histograms.  The original hub API is preserved verbatim so existing
+callers and the figure-plotting path are untouched; :class:`TimeSeries`
+and :class:`Sample` now live in :mod:`repro.obs.metrics` and are
+re-exported here.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterator
 
+from repro.obs.metrics import MetricsRegistry, Sample, TimeSeries
 
-@dataclass(frozen=True)
-class Sample:
-    """One (time, value) observation."""
-
-    time: float
-    value: float
-
-
-class TimeSeries:
-    """Append-only series of :class:`Sample` observations.
-
-    Samples must be appended in nondecreasing time order (the simulator
-    clock guarantees this for the harness).
-    """
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._times: list[float] = []
-        self._values: list[float] = []
-
-    def append(self, time: float, value: float) -> None:
-        if self._times and time < self._times[-1]:
-            raise ValueError(
-                f"series {self.name!r}: sample at {time!r} precedes last "
-                f"sample at {self._times[-1]!r}"
-            )
-        self._times.append(time)
-        self._values.append(value)
-
-    def __len__(self) -> int:
-        return len(self._times)
-
-    def __iter__(self) -> Iterator[Sample]:
-        return (Sample(t, v) for t, v in zip(self._times, self._values))
-
-    @property
-    def times(self) -> tuple[float, ...]:
-        return tuple(self._times)
-
-    @property
-    def values(self) -> tuple[float, ...]:
-        return tuple(self._values)
-
-    def last(self) -> Sample:
-        if not self._times:
-            raise IndexError(f"series {self.name!r} is empty")
-        return Sample(self._times[-1], self._values[-1])
-
-    def value_at(self, time: float) -> float:
-        """Step-interpolated value at ``time`` (last sample at or before it)."""
-        if not self._times:
-            raise IndexError(f"series {self.name!r} is empty")
-        idx = bisect.bisect_right(self._times, time) - 1
-        if idx < 0:
-            raise ValueError(f"series {self.name!r} has no sample at or before {time!r}")
-        return self._values[idx]
-
-    def max(self) -> float:
-        return max(self._values)
-
-    def mean(self) -> float:
-        return sum(self._values) / len(self._values)
-
-    def rate_between(self, t0: float, t1: float) -> float:
-        """Average growth rate (Δvalue/Δtime) between two instants.
-
-        For a cumulative-output series this is exactly the paper's notion
-        of throughput over a window.
-        """
-        if t1 <= t0:
-            raise ValueError(f"need t1 > t0, got {t0!r}..{t1!r}")
-        return (self.value_at(t1) - self.value_at(t0)) / (t1 - t0)
+__all__ = [
+    "AdaptationEvent",
+    "EventLog",
+    "MetricsHub",
+    "Sample",
+    "TimeSeries",
+]
 
 
 @dataclass(frozen=True)
@@ -104,14 +49,21 @@ class AdaptationEvent:
 
 
 class EventLog:
-    """Append-only log of :class:`AdaptationEvent` records."""
+    """Append-only log of :class:`AdaptationEvent` records.
 
-    def __init__(self) -> None:
+    An optional ``observer`` callback sees every recorded event; the hub
+    uses it to mirror events into the metrics registry.
+    """
+
+    def __init__(self, observer: Callable[[AdaptationEvent], None] | None = None) -> None:
         self._events: list[AdaptationEvent] = []
+        self._observer = observer
 
     def record(self, time: float, kind: str, machine: str, **details: Any) -> AdaptationEvent:
         event = AdaptationEvent(time=time, kind=kind, machine=machine, details=details)
         self._events.append(event)
+        if self._observer is not None:
+            self._observer(event)
         return event
 
     def __len__(self) -> int:
@@ -131,34 +83,71 @@ class EventLog:
 class MetricsHub:
     """Named-series registry plus the shared adaptation event log.
 
-    Also carries the deployment's :class:`~repro.obs.trace.Tracer` (the
-    shared no-op :data:`~repro.obs.trace.NULL_TRACER` unless a run opts
-    in) so any component holding the hub can emit structured trace
-    events without extra plumbing.
+    Also carries the deployment's :class:`~repro.obs.trace.Tracer` and
+    :class:`~repro.obs.ledger.DecisionLedger` (the shared no-op
+    :data:`~repro.obs.trace.NULL_TRACER` /
+    :data:`~repro.obs.ledger.NULL_LEDGER` unless a run opts in) so any
+    component holding the hub can emit structured trace events or ledger
+    records without extra plumbing.
     """
 
     def __init__(self) -> None:
+        from repro.obs.ledger import NULL_LEDGER
         from repro.obs.trace import NULL_TRACER
 
-        self._series: dict[str, TimeSeries] = {}
-        self.events = EventLog()
-        self.counters: dict[str, float] = {}
+        self.registry = MetricsRegistry()
+        self.events = EventLog(observer=self._observe_event)
         self.tracer = NULL_TRACER
+        self.ledger = NULL_LEDGER
 
     def series(self, name: str) -> TimeSeries:
         """Get (creating on first use) the series called ``name``."""
-        if name not in self._series:
-            self._series[name] = TimeSeries(name)
-        return self._series[name]
+        return self.registry.timeseries(name)
 
     def has_series(self, name: str) -> bool:
-        return name in self._series
+        return self.registry.has_timeseries(name)
 
     def series_names(self) -> tuple[str, ...]:
-        return tuple(sorted(self._series))
+        return self.registry.timeseries_names()
 
     def sample(self, time: float, name: str, value: float) -> None:
-        self.series(name).append(time, value)
+        self.registry.sample(time, name, value)
 
     def bump(self, counter: str, amount: float = 1.0) -> None:
-        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+        self.registry.counter(
+            "repro_hub_total",
+            help="MetricsHub bump counters",
+            labels={"name": counter},
+        ).inc(amount)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """The bump counters as a plain name→value mapping."""
+        family = self.registry._families.get("repro_hub_total")
+        if family is None:
+            return {}
+        return {dict(key)["name"]: inst.value for key, inst in family.children.items()}
+
+    def _observe_event(self, event: AdaptationEvent) -> None:
+        """Mirror an adaptation event into the registry (counter + size /
+        duration histograms, stamped with the event's simulator time)."""
+        self.registry.counter(
+            "repro_adaptation_events_total",
+            help="Adaptation events by kind",
+            labels={"kind": event.kind},
+        ).inc(ts=event.time)
+        size = event.details.get("bytes")
+        if isinstance(size, (int, float)):
+            self.registry.histogram(
+                "repro_adaptation_bytes",
+                help="Bytes moved or spilled per adaptation event",
+                labels={"kind": event.kind},
+            ).observe(float(size), ts=event.time)
+        duration = event.details.get("duration")
+        if isinstance(duration, (int, float)):
+            self.registry.histogram(
+                "repro_adaptation_duration_seconds",
+                help="Simulated duration per adaptation event",
+                buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 100.0),
+                labels={"kind": event.kind},
+            ).observe(float(duration), ts=event.time)

@@ -103,6 +103,27 @@ class Network:
         self._endpoints: dict[str, Callable[[Message], None]] = {}
         self._link_free: dict[tuple[str, str], float] = {}
 
+    def publish_metrics(self, registry) -> None:
+        """Pull-collector: copy the traffic counters into the registry."""
+        registry.counter(
+            "repro_network_messages_total", help="Messages sent",
+        ).set_total(self.stats.messages)
+        registry.counter(
+            "repro_network_bytes_total", help="Payload bytes sent",
+        ).set_total(self.stats.bytes_sent)
+        registry.counter(
+            "repro_network_control_messages_total",
+            help="Adaptation/control-plane messages sent",
+        ).set_total(self.stats.control_messages)
+        registry.counter(
+            "repro_network_control_bytes_total",
+            help="Adaptation/control-plane bytes sent",
+        ).set_total(self.stats.control_bytes)
+        registry.counter(
+            "repro_network_state_transfer_bytes_total",
+            help="Bulk relocation/recovery state bytes sent",
+        ).set_total(self.stats.state_transfer_bytes)
+
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------

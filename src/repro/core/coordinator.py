@@ -48,6 +48,12 @@ from repro.core.relocation import (
 GC_NAME = "gc"
 
 
+def _alt(action: str, predicate: str, outcome: str = "rejected") -> dict:
+    """One decision-ledger alternative: the branch and the concrete
+    (numbers-substituted) predicate that rejected or chose it."""
+    return {"action": action, "outcome": outcome, "predicate": predicate}
+
+
 @dataclass
 class CoordinatorStats:
     """Counters summarising the GC's activity over a run."""
@@ -151,6 +157,7 @@ class GlobalCoordinator:
         """``process_stats(); calculate_cluster_load(); ...`` — one pass of
         the GC decision loop."""
         self.stats.evaluations += 1
+        ledger = self.metrics.ledger
         if self.recovery is not None:
             self.recovery.tick(self.sim.now, self.latest)
             for machine in self.recovery.dead:
@@ -163,31 +170,115 @@ class GlobalCoordinator:
                 self._abort_session()
             if self.recovery.active:
                 # all other adaptations are deferred while a recovery runs
+                if ledger.enabled:
+                    self._ledger_deferred("recovery_active")
                 return
         if self.session is not None and not self.session.terminal:
+            if ledger.enabled:
+                self._ledger_deferred(
+                    "relocation_in_flight", phase=self.session.phase
+                )
             return
         reports = [self.latest.get(w) for w in self.workers]
         known = [r for r in reports if r is not None]
         if len(known) < 2:
+            if ledger.enabled:
+                self._ledger_deferred("insufficient_reports", known=len(known))
             return
-        if self.config.relocation_enabled and self._try_relocation(known):
+        alts: list[dict] | None = [] if ledger.enabled else None
+        if self.config.relocation_enabled and self._try_relocation(known, alts):
             return
-        if self.config.forced_spill_enabled:
-            self._try_forced_spill(known)
+        if self.config.forced_spill_enabled and self._try_forced_spill(known, alts):
+            return
+        if ledger.enabled:
+            ledger.record(
+                self.name, "gc_tick", "none", "idle",
+                self._gc_inputs(known), alts,
+            )
 
-    def _try_relocation(self, reports: list[StatsReport]) -> bool:
+    def _ledger_deferred(self, reason: str, **extra) -> None:
+        """Record a GC tick on which no rule was even evaluated."""
+        self.metrics.ledger.record(
+            self.name, "gc_tick", "none", "deferred",
+            {"deferred": True, "reason": reason, "now": self.sim.now, **extra},
+            [_alt("relocate", f"deferred: {reason}"),
+             _alt("forced_spill", f"deferred: {reason}")],
+        )
+
+    def _gc_inputs(self, reports: list[StatsReport]) -> dict:
+        """Everything :func:`repro.obs.ledger.replay_decision` needs to
+        re-run this tick's rule cascade offline, in the exact report order
+        the coordinator saw."""
+        cfg = self.config
+        return {
+            "now": self.sim.now,
+            "last_relocation_time": self.last_relocation_time,
+            "reports": [
+                {
+                    "machine": r.machine,
+                    "state_bytes": r.state_bytes,
+                    "outputs_delta": r.outputs_delta,
+                    "group_count": r.group_count,
+                    "rate": machine_productivity_rate(r.outputs_delta, r.group_count),
+                }
+                for r in reports
+            ],
+            "theta_r": cfg.theta_r,
+            "tau_m": cfg.tau_m,
+            "min_relocation_bytes": cfg.min_relocation_bytes,
+            "lambda_productivity": cfg.lambda_productivity,
+            "memory_threshold": cfg.memory_threshold,
+            "relocation_enabled": cfg.relocation_enabled,
+            "forced_spill_enabled": cfg.forced_spill_enabled,
+            "forced_spill_cap": cfg.forced_spill_cap,
+            "forced_spill_bytes_used": self.stats.forced_spill_bytes,
+            "forced_spill_fraction": cfg.forced_spill_fraction,
+            "forced_spill_pressure_floor": cfg.forced_spill_pressure
+            * cfg.memory_threshold,
+        }
+
+    def _try_relocation(
+        self, reports: list[StatsReport], alts: list[dict] | None = None
+    ) -> bool:
         max_report = max(reports, key=lambda r: (r.state_bytes, r.machine))
         min_report = min(reports, key=lambda r: (r.state_bytes, r.machine))
         max_load = max_report.state_bytes
         min_load = min_report.state_bytes
         if max_load <= 0 or max_report.machine == min_report.machine:
+            if alts is not None:
+                alts.append(_alt(
+                    "relocate",
+                    f"no load to balance: M_max = {max_load} B "
+                    f"on {max_report.machine!r}",
+                ))
             return False
         if min_load / max_load >= self.config.theta_r:
+            if alts is not None:
+                alts.append(_alt(
+                    "relocate",
+                    f"M_least/M_max = {min_load}/{max_load} = "
+                    f"{min_load / max_load:.4f} >= theta_r = "
+                    f"{self.config.theta_r}",
+                ))
             return False
         if self.sim.now - self.last_relocation_time < self.config.tau_m:
+            if alts is not None:
+                alts.append(_alt(
+                    "relocate",
+                    f"now - last_relocation = "
+                    f"{self.sim.now - self.last_relocation_time:.1f} s "
+                    f"< tau_m = {self.config.tau_m} s",
+                ))
             return False
         amount = (max_load - min_load) // 2
         if amount < self.config.min_relocation_bytes:
+            if alts is not None:
+                alts.append(_alt(
+                    "relocate",
+                    f"amount = (M_max - M_least)/2 = {amount} B "
+                    f"< min_relocation_bytes = "
+                    f"{self.config.min_relocation_bytes} B",
+                ))
             return False
         self.session = RelocationSession(
             sender=max_report.machine,
@@ -205,8 +296,40 @@ class GlobalCoordinator:
                 dst=min_report.machine,
                 amount=amount,
             )
+        ledger = self.metrics.ledger
+        if ledger.enabled:
+            assert alts is not None
+            alts.append(_alt(
+                "relocate",
+                f"M_least/M_max = {min_load}/{max_load} = "
+                f"{min_load / max_load:.4f} < theta_r = {self.config.theta_r} "
+                f"and now - last_relocation = "
+                f"{self.sim.now - self.last_relocation_time:.1f} s >= tau_m = "
+                f"{self.config.tau_m} s -> move (M_max - M_least)/2 = "
+                f"{amount} B from {max_report.machine!r} to "
+                f"{min_report.machine!r}",
+                outcome="chosen",
+            ))
+            self.session.ledger_entry = ledger.record(
+                self.name,
+                "gc_tick",
+                "relocate",
+                "theta_r",
+                {
+                    **self._gc_inputs(reports),
+                    "chosen_sender": max_report.machine,
+                    "chosen_receiver": min_report.machine,
+                    "chosen_amount": amount,
+                },
+                alts,
+                trace_span=self.session.trace_span,
+            )
         self._trace_step(self.session, 1)
-        self._send(max_report.machine, "cptv", CptvRequest(amount=amount))
+        self._send(
+            max_report.machine,
+            "cptv",
+            CptvRequest(amount=amount, ledger_entry=self.session.ledger_entry),
+        )
         return True
 
     def _trace_step(self, session: RelocationSession, step: int, **fields) -> None:
@@ -226,19 +349,40 @@ class GlobalCoordinator:
         if tracer.enabled and session.trace_span:
             tracer.end_span(session.trace_span, status=status, **fields)
 
-    def _try_forced_spill(self, reports: list[StatsReport]) -> None:
+    def _try_forced_spill(
+        self, reports: list[StatsReport], alts: list[dict] | None = None
+    ) -> bool:
         if self.stats.forced_spill_bytes >= self.config.forced_spill_cap:
-            return
+            if alts is not None:
+                alts.append(_alt(
+                    "forced_spill",
+                    f"budget exhausted: forced_spill_bytes = "
+                    f"{self.stats.forced_spill_bytes} B >= cap (M_query - "
+                    f"M_cluster) = {self.config.forced_spill_cap} B",
+                ))
+            return False
         pressure_floor = self.config.forced_spill_pressure * self.config.memory_threshold
         if not any(r.state_bytes >= pressure_floor for r in reports):
-            return  # "only if extra memory is needed" (§5.4)
+            if alts is not None:
+                alts.append(_alt(
+                    "forced_spill",
+                    f"no memory pressure: max machine state = "
+                    f"{max(r.state_bytes for r in reports)} B < pressure "
+                    f"floor = {pressure_floor:.0f} B",
+                ))
+            return False  # "only if extra memory is needed" (§5.4)
         rated = [
             (machine_productivity_rate(r.outputs_delta, r.group_count), r)
             for r in reports
             if r.group_count > 0
         ]
         if len(rated) < 2:
-            return
+            if alts is not None:
+                alts.append(_alt(
+                    "forced_spill",
+                    f"only {len(rated)} machine(s) hold partition groups",
+                ))
+            return False
         max_rate, _ = max(rated, key=lambda x: x[0])
         min_rate, min_report = min(rated, key=lambda x: x[0])
         if min_rate <= 0:
@@ -246,16 +390,60 @@ class GlobalCoordinator:
         else:
             ratio = max_rate / min_rate
         if ratio <= self.config.lambda_productivity:
-            return
+            if alts is not None:
+                alts.append(_alt(
+                    "forced_spill",
+                    f"R_max/R_min = {max_rate:.3f}/{min_rate:.3f} = "
+                    f"{ratio:.3f} <= lambda = "
+                    f"{self.config.lambda_productivity}",
+                ))
+            return False
         remaining_cap = self.config.forced_spill_cap - self.stats.forced_spill_bytes
         amount = min(
             int(min_report.state_bytes * self.config.forced_spill_fraction),
             remaining_cap,
         )
         if amount <= 0:
-            return
+            if alts is not None:
+                alts.append(_alt(
+                    "forced_spill",
+                    f"amount = min({min_report.state_bytes} B x "
+                    f"{self.config.forced_spill_fraction}, {remaining_cap} B "
+                    f"remaining) = {amount} B <= 0",
+                ))
+            return False
         self.stats.forced_spills += 1
-        self._send(min_report.machine, "start_ss", ForcedSpillRequest(amount=amount))
+        entry = 0
+        ledger = self.metrics.ledger
+        if ledger.enabled:
+            assert alts is not None
+            alts.append(_alt(
+                "forced_spill",
+                f"R_max/R_min = {max_rate:.3f}/{min_rate:.3f} = {ratio:.3f} "
+                f"> lambda = {self.config.lambda_productivity} -> spill "
+                f"{amount} B on least productive machine "
+                f"{min_report.machine!r}",
+                outcome="chosen",
+            ))
+            entry = ledger.record(
+                self.name,
+                "gc_tick",
+                "forced_spill",
+                "lambda",
+                {
+                    **self._gc_inputs(reports),
+                    "chosen_machine": min_report.machine,
+                    "chosen_amount": amount,
+                    "chosen_ratio": ratio,
+                },
+                alts,
+            )
+        self._send(
+            min_report.machine,
+            "start_ss",
+            ForcedSpillRequest(amount=amount, ledger_entry=entry),
+        )
+        return True
 
     def _abort_session(self) -> None:
         """Abort the in-flight relocation because a participant died.
@@ -341,6 +529,14 @@ class GlobalCoordinator:
                 phase_reached in ("pausing", "transferring") and not remapped_back
             ),
         )
+        if self.metrics.ledger.enabled:
+            self.metrics.ledger.realize(
+                session.ledger_entry,
+                status="aborted",
+                reason="participant_died",
+                phase_reached=phase_reached,
+                adopted=adopted,
+            )
         self.session = None
 
     # ------------------------------------------------------------------
@@ -355,6 +551,13 @@ class GlobalCoordinator:
             session.advance("aborted")
             self.stats.relocations_aborted += 1
             self._trace_end(session, "aborted", reason="no_parts")
+            if self.metrics.ledger.enabled:
+                self.metrics.ledger.realize(
+                    session.ledger_entry,
+                    status="aborted",
+                    reason="no_parts",
+                    bytes_moved=0,
+                )
             self.session = None
             return
         session.partition_ids = parts.partition_ids
@@ -384,6 +587,7 @@ class GlobalCoordinator:
         session.pending_pause_acks.discard(ack.host)
         if session.pending_pause_acks:
             return
+        session.paused_at = self.sim.now
         self._trace_step(session, 4)
         session.advance("transferring")
         self._trace_step(session, 5, receiver=session.receiver)
@@ -442,6 +646,18 @@ class GlobalCoordinator:
             duration=session.duration,
         )
         self._trace_end(session, "done", bytes=session.state_bytes)
+        if self.metrics.ledger.enabled:
+            self.metrics.ledger.realize(
+                session.ledger_entry,
+                status="done",
+                bytes_moved=session.state_bytes,
+                duration=session.duration,
+                pause_duration=(
+                    self.sim.now - session.paused_at
+                    if session.paused_at is not None
+                    else None
+                ),
+            )
         self.session = None
 
     def _on_ss_done(self, message: Message) -> None:
@@ -451,6 +667,43 @@ class GlobalCoordinator:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def publish_metrics(self, registry) -> None:
+        """Pull-collector: copy the GC's counters into the registry.
+
+        Labelled by coordinator name so pipelines (one GC per stage) can
+        publish into one registry without colliding.
+        """
+        gc = {"coordinator": self.name}
+        registry.counter(
+            "repro_gc_evaluations_total",
+            help="GC decision-loop passes",
+            labels=gc,
+        ).set_total(self.stats.evaluations)
+        registry.counter(
+            "repro_gc_relocations_total",
+            help="Relocation sessions by final status",
+            labels={**gc, "status": "completed"},
+        ).set_total(self.stats.relocations_completed)
+        registry.counter(
+            "repro_gc_relocations_total",
+            labels={**gc, "status": "aborted"},
+        ).set_total(self.stats.relocations_aborted)
+        registry.counter(
+            "repro_gc_forced_spills_total",
+            help="Coordinator-forced spill orders sent",
+            labels=gc,
+        ).set_total(self.stats.forced_spills)
+        registry.counter(
+            "repro_gc_forced_spill_bytes_total",
+            help="Bytes acknowledged spilled under forced-spill orders",
+            labels=gc,
+        ).set_total(self.stats.forced_spill_bytes)
+        registry.counter(
+            "repro_gc_protocol_ignored_total",
+            help="Stale/unsolicited protocol messages dropped",
+            labels=gc,
+        ).set_total(self.stats.protocol_ignored)
+
     def _session_in_phase(self, expected_phase: str) -> RelocationSession | None:
         """The active session if it is in ``expected_phase``, else ``None``.
 

@@ -109,13 +109,15 @@ class LocalAdaptationController:
         return self.store.total_bytes > self.config.memory_threshold
 
     def run_spill(self, *, now: float, amount: int | None = None,
-                  forced: bool = False, on_done=None) -> SpillOutcome | None:
+                  forced: bool = False, on_done=None,
+                  ledger_entry: int = 0) -> SpillOutcome | None:
         """Execute one spill of ``amount`` bytes (default: the configured
         fraction of resident state — ``computeSpillAmount``)."""
         if amount is None:
             amount = self.executor.compute_amount(self.config.spill_fraction)
         outcome = self.executor.execute(
-            self.spill_policy, amount, now=now, forced=forced, on_done=on_done
+            self.spill_policy, amount, now=now, forced=forced, on_done=on_done,
+            ledger_entry=ledger_entry,
         )
         if outcome is not None and isinstance(self.estimator, WindowedProductivity):
             for pid in outcome.partition_ids:

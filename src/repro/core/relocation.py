@@ -62,6 +62,10 @@ class CptvRequest:
     partitions to move."""
 
     amount: int
+    #: id of the GC's decision-ledger entry (0 = ledger disabled) — carried
+    #: so the sender can annotate the entry with its chosen victim groups
+    #: and their productivity scores at selection time.
+    ledger_entry: int = 0
 
 
 @dataclass(frozen=True)
@@ -162,6 +166,9 @@ class ForcedSpillRequest:
     target QE's least productive state to disk (§5.3)."""
 
     amount: int
+    #: id of the GC's decision-ledger entry (0 = ledger disabled); the QE
+    #: links the resulting spill span to it and records the realized cost.
+    ledger_entry: int = 0
 
 
 @dataclass(frozen=True)
@@ -213,6 +220,11 @@ class RelocationSession:
     completed_at: float | None = None
     #: id of this session's "relocation" trace span (0 = tracing disabled)
     trace_span: int = 0
+    #: id of the GC's decision-ledger entry (0 = ledger disabled)
+    ledger_entry: int = 0
+    #: when the last split pause ack arrived (start of the paused window;
+    #: the ledger's realized pause duration runs from here to step 8)
+    paused_at: float | None = None
 
     def advance(self, phase: str) -> None:
         if phase not in PHASES:

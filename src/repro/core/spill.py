@@ -174,15 +174,23 @@ class SpillExecutor:
     the paper's Figure 6 memory curves), while the CPU stays busy for the
     serialisation and disk-write time — delaying queued tuple processing,
     which is the throughput cost visible in Figure 5.
+
+    When a decision ledger is attached (``ledger_entry`` threaded from the
+    overflow check or the GC's forced-spill order), the executor links the
+    entry to its spill trace span, annotates the chosen victims with their
+    productivity scores at selection time, and records the realized cost.
     """
 
     def __init__(self, machine: Machine, disk: Disk, store: StateStore,
-                 cost: CostModel, *, tracer=None) -> None:
+                 cost: CostModel, *, tracer=None, ledger=None) -> None:
+        from repro.obs.ledger import NULL_LEDGER
+
         self.machine = machine
         self.disk = disk
         self.store = store
         self.cost = cost
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
         self.total_spilled_bytes = 0
         self.spill_count = 0
 
@@ -198,6 +206,7 @@ class SpillExecutor:
         now: float,
         forced: bool = False,
         on_done=None,
+        ledger_entry: int = 0,
     ) -> SpillOutcome | None:
         """Run one spill of about ``amount`` bytes.
 
@@ -209,6 +218,23 @@ class SpillExecutor:
         victims = policy.select_victims(self.store, amount)
         if not victims:
             return None
+        victim_detail = None
+        if self.ledger.enabled and ledger_entry:
+            # score the victims *before* eviction mutates the store — these
+            # are the productivity values the policy actually ranked on
+            estimator = getattr(policy, "estimator", None)
+            victim_detail = []
+            for pid in victims:
+                group = self.store.peek(pid)
+                victim_detail.append({
+                    "pid": pid,
+                    "bytes": group.size_bytes,
+                    "score": (
+                        estimator.score(group)
+                        if estimator is not None
+                        else group.productivity
+                    ),
+                })
         frozen = self.store.evict(victims)
         bytes_spilled = sum(f.size_bytes for f in frozen)
         for snapshot in frozen:
@@ -243,6 +269,20 @@ class SpillExecutor:
                 bytes=bytes_spilled,
                 forced=forced,
                 policy=str(policy.name.value),
+            )
+        if self.ledger.enabled and ledger_entry:
+            # link the decision to its span and record the realized cost;
+            # the spilled bytes are cleanup debt until a cleanup merges or
+            # skips the on-disk parts
+            self.ledger.annotate(
+                ledger_entry, trace_span=span, victims=victim_detail
+            )
+            self.ledger.realize(
+                ledger_entry,
+                executed=True,
+                bytes_spilled=bytes_spilled,
+                duration=duration,
+                cleanup_debt_delta=bytes_spilled,
             )
 
         def _begin():

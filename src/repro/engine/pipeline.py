@@ -199,6 +199,7 @@ class PipelineDeployment:
         record_inputs: bool = False,
         seed: int = 11,
         tracer=None,
+        ledger=None,
     ) -> None:
         if not stages:
             raise ValueError("need at least one stage")
@@ -218,10 +219,14 @@ class PipelineDeployment:
 
         self.sim = Simulator()
         self.metrics = MetricsHub()
+        self.metrics.registry.bind_clock(lambda: self.sim.now)
         if tracer is not None:
             self.metrics.tracer = tracer
             tracer.bind_clock(lambda: self.sim.now)
             trace_strategy(tracer, config)
+        if ledger is not None:
+            self.metrics.ledger = ledger
+            ledger.bind_clock(lambda: self.sim.now)
         self.network = Network(
             self.sim,
             latency=self.cost.network_latency,
@@ -342,6 +347,21 @@ class PipelineDeployment:
 
         self._started = False
         self._finished = False
+        self.metrics.registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        """Pull-collector: gather every stage component's counters."""
+        registry.counter(
+            "repro_outputs_total", help="Final-stage results collected"
+        ).set_total(self.collector.total)
+        self.network.publish_metrics(registry)
+        for coordinator in self.coordinators.values():
+            coordinator.publish_metrics(registry)
+        for host in self.hosts.values():
+            host.publish_metrics(registry)
+        for stage_engines in self.engines.values():
+            for engine in stage_engines.values():
+                engine.publish_metrics(registry)
 
     # ------------------------------------------------------------------
     # Execution

@@ -99,6 +99,10 @@ class Deployment:
     tracer:
         A :class:`~repro.obs.trace.Tracer` recording structured protocol
         traces for this run (``None`` = tracing disabled, zero overhead).
+    ledger:
+        A :class:`~repro.obs.ledger.DecisionLedger` recording every
+        adaptation decision with its rule inputs (``None`` = disabled,
+        zero overhead).
     """
 
     def __init__(
@@ -121,6 +125,7 @@ class Deployment:
         batched_data_path: bool = True,
         seed: int = 11,
         tracer=None,
+        ledger=None,
     ) -> None:
         if isinstance(workers, int):
             if workers <= 0:
@@ -146,10 +151,14 @@ class Deployment:
 
         self.sim = Simulator()
         self.metrics = MetricsHub()
+        self.metrics.registry.bind_clock(lambda: self.sim.now)
         if tracer is not None:
             self.metrics.tracer = tracer
             tracer.bind_clock(lambda: self.sim.now)
             trace_strategy(tracer, config)
+        if ledger is not None:
+            self.metrics.ledger = ledger
+            ledger.bind_clock(lambda: self.sim.now)
         self.network = Network(
             self.sim,
             latency=self.cost.network_latency,
@@ -316,6 +325,22 @@ class Deployment:
         self._started = False
         self._finished = False
         self.run_duration: float | None = None
+        self.metrics.registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry) -> None:
+        """Pull-collector: gather every component's counters on exposition."""
+        registry.counter(
+            "repro_outputs_total", help="Join results collected"
+        ).set_total(self.collector.total)
+        self.network.publish_metrics(registry)
+        self.coordinator.publish_metrics(registry)
+        self.source_host.publish_metrics(registry)
+        for engine in self.engines.values():
+            engine.publish_metrics(registry)
+        if self.registry is not None:
+            self.registry.publish_metrics(registry)
+        if self.recovery is not None:
+            self.recovery.publish_metrics(registry)
 
     # ------------------------------------------------------------------
     # Execution

@@ -114,7 +114,8 @@ class QueryEngine:
         self.app_server = app_server
         self.mode = MODE_NORMAL
         executor = SpillExecutor(
-            machine, disk, instance.store, cost, tracer=metrics.tracer
+            machine, disk, instance.store, cost,
+            tracer=metrics.tracer, ledger=metrics.ledger,
         )
         self.controller = LocalAdaptationController(
             instance.store, executor, config, seed=seed
@@ -311,18 +312,80 @@ class QueryEngine:
     # ss_timer: local spill check (Algorithm 1 lines 24-32)
     # ------------------------------------------------------------------
     def _ss_timer_expired(self) -> None:
+        ledger = self.metrics.ledger
         if not self.controller.memory_exceeded():
+            if ledger.enabled:
+                store = self.instance.store
+                self._ledger_overflow(
+                    "none", "under_threshold",
+                    predicate=(
+                        f"QE memory = {store.total_bytes} B <= threshold = "
+                        f"{self.config.memory_threshold} B"
+                    ),
+                )
             return
         if self.mode != MODE_NORMAL:
-            return  # "don't spill now, wait until next timer expires"
-        self._start_spill(amount=None, forced=False)
+            # "don't spill now, wait until next timer expires"
+            if ledger.enabled:
+                self._ledger_overflow(
+                    "none", "busy",
+                    predicate=(
+                        f"memory exceeded but engine is in {self.mode!r} — "
+                        f"wait until the next timer expires"
+                    ),
+                )
+            return
+        entry = 0
+        if ledger.enabled:
+            store = self.instance.store
+            entry = self._ledger_overflow(
+                "spill", "memory_threshold",
+                predicate=(
+                    f"QE memory = {store.total_bytes} B > threshold = "
+                    f"{self.config.memory_threshold} B -> spill "
+                    f"{self.config.spill_fraction:.0%} of resident state"
+                ),
+                outcome="chosen",
+            )
+        self._start_spill(amount=None, forced=False, ledger_entry=entry)
 
-    def _start_spill(self, amount: int | None, forced: bool) -> None:
+    def _ledger_overflow(
+        self, action: str, rule: str, *, predicate: str,
+        outcome: str = "rejected", forced: bool = False,
+        amount: int | None = None,
+    ) -> int:
+        """Record one ``ss_timer`` overflow check in the decision ledger."""
+        store = self.instance.store
+        return self.metrics.ledger.record(
+            self.name,
+            "overflow_check",
+            action,
+            rule,
+            {
+                "machine": self.name,
+                "state_bytes": store.total_bytes,
+                "memory_threshold": self.config.memory_threshold,
+                "spill_fraction": self.config.spill_fraction,
+                "mode": self.mode,
+                "forced": forced,
+                "requested_amount": amount,
+            },
+            [{"action": "spill", "outcome": outcome, "predicate": predicate}],
+        )
+
+    def _start_spill(
+        self, amount: int | None, forced: bool, ledger_entry: int = 0
+    ) -> None:
         self.mode = MODE_SS
         outcome = self.controller.run_spill(
-            now=self.sim.now, amount=amount, forced=forced, on_done=self._spill_done
+            now=self.sim.now, amount=amount, forced=forced,
+            on_done=self._spill_done, ledger_entry=ledger_entry,
         )
         if outcome is None:
+            if self.metrics.ledger.enabled:
+                self.metrics.ledger.realize(
+                    ledger_entry, executed=False, reason="no_victims"
+                )
             self.mode = MODE_NORMAL
             if forced:
                 self._send_gc("ss_done", ForcedSpillDone(self.name, 0))
@@ -355,9 +418,18 @@ class QueryEngine:
     def _on_start_ss(self, message: Message) -> None:
         request: ForcedSpillRequest = message.payload
         if self.mode != MODE_NORMAL:
+            if self.metrics.ledger.enabled:
+                self.metrics.ledger.realize(
+                    request.ledger_entry,
+                    executed=False,
+                    reason="engine_busy",
+                    mode=self.mode,
+                )
             self._send_gc("ss_done", ForcedSpillDone(self.name, 0))
             return
-        self._start_spill(amount=request.amount, forced=True)
+        self._start_spill(
+            amount=request.amount, forced=True, ledger_entry=request.ledger_entry
+        )
 
     # ------------------------------------------------------------------
     # Relocation protocol, sender side
@@ -378,6 +450,23 @@ class QueryEngine:
     def _start_cptv(self, request: CptvRequest) -> None:
         self.mode = MODE_SR
         pids, total = self.controller.compute_parts_to_move(request.amount)
+        ledger = self.metrics.ledger
+        if ledger.enabled and request.ledger_entry:
+            # annotate the GC's decision with the concrete groups the local
+            # controller picked, scored as the estimator saw them
+            store = self.instance.store
+            estimator = self.controller.estimator
+            ledger.annotate(
+                request.ledger_entry,
+                victims=[
+                    {
+                        "pid": pid,
+                        "bytes": store.peek(pid).size_bytes,
+                        "score": estimator.score(store.peek(pid)),
+                    }
+                    for pid in pids
+                ],
+            )
         if not pids:
             self.mode = MODE_NORMAL
         self._send_gc("ptv", PartsList(self.name, pids, total))
@@ -615,6 +704,65 @@ class QueryEngine:
             self.name, self.coordinator_name, kind, payload,
             self.cost.control_message_bytes,
         )
+
+    # ------------------------------------------------------------------
+    # Metrics exposition
+    # ------------------------------------------------------------------
+    def publish_metrics(self, registry) -> None:
+        """Pull-collector: this engine's store, disk, spill and checkpoint
+        counters, labeled by machine."""
+        labels = {"machine": self.name}
+        store = self.instance.store
+        registry.gauge(
+            "repro_state_bytes", help="Resident join state", labels=labels,
+        ).set(store.total_bytes)
+        registry.gauge(
+            "repro_partition_groups", help="Live partition groups",
+            labels=labels,
+        ).set(store.group_count)
+        registry.counter(
+            "repro_outputs_produced_total", help="Join results produced",
+            labels=labels,
+        ).set_total(store.outputs_total)
+        registry.counter(
+            "repro_tuples_processed_total", help="Input tuples probe-inserted",
+            labels=labels,
+        ).set_total(store.tuples_processed)
+        registry.counter(
+            "repro_engine_crashes_total", help="Fail-stop crashes",
+            labels=labels,
+        ).set_total(self.crashes)
+        registry.counter(
+            "repro_engine_messages_dropped_total",
+            help="Messages dropped while crashed", labels=labels,
+        ).set_total(self.messages_dropped)
+        executor = self.controller.executor
+        registry.counter(
+            "repro_spills_total", help="Spills executed", labels=labels,
+        ).set_total(executor.spill_count)
+        registry.counter(
+            "repro_spilled_bytes_total", help="Bytes spilled to disk",
+            labels=labels,
+        ).set_total(executor.total_spilled_bytes)
+        registry.gauge(
+            "repro_disk_resident_bytes", help="Spilled state parked on disk",
+            labels=labels,
+        ).set(self.disk.resident_bytes)
+        registry.counter(
+            "repro_disk_bytes_written_total", labels=labels,
+        ).set_total(self.disk.stats.bytes_written)
+        registry.counter(
+            "repro_disk_bytes_read_total", labels=labels,
+        ).set_total(self.disk.stats.bytes_read)
+        if self.checkpointer is not None:
+            registry.counter(
+                "repro_checkpoints_total", help="Checkpoint commits",
+                labels=labels,
+            ).set_total(self.checkpointer.checkpoints)
+            registry.counter(
+                "repro_checkpoint_bytes_total",
+                help="Bytes written by checkpoint commits", labels=labels,
+            ).set_total(self.checkpointer.bytes_checkpointed)
 
 
 class SourceHost:
@@ -885,3 +1033,31 @@ class SourceHost:
             self.name, self.coordinator_name, kind, payload,
             self.cost.control_message_bytes,
         )
+
+    def publish_metrics(self, registry) -> None:
+        """Pull-collector: split-host routing and replay-log counters.
+
+        Labelled by host machine so pipelines (one split host per stage)
+        can publish into one registry without colliding.
+        """
+        labels = {"host": self.machine.name}
+        registry.counter(
+            "repro_source_tuples_routed_total",
+            help="Tuples routed through the splits",
+            labels=labels,
+        ).set_total(self.tuples_routed)
+        registry.counter(
+            "repro_source_tuples_dropped_total",
+            help="Tuples removed by pre-join stateless transforms",
+            labels=labels,
+        ).set_total(self.tuples_dropped)
+        registry.counter(
+            "repro_source_tuples_replayed_total",
+            help="Replay-log tuples re-forwarded during recovery",
+            labels=labels,
+        ).set_total(self.replayed_total)
+        registry.counter(
+            "repro_source_replay_log_trimmed_total",
+            help="Replay-log tuples dropped as durably covered",
+            labels=labels,
+        ).set_total(self.trimmed_total)

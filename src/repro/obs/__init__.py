@@ -1,15 +1,37 @@
-"""Observability layer: structured tracing and trace-driven invariants."""
+"""Observability layer: tracing, decision ledger, metrics and reports."""
 
 from repro.obs.invariants import InvariantChecker, Violation, check_trace
+from repro.obs.ledger import (
+    NULL_LEDGER,
+    DecisionLedger,
+    NullLedger,
+    check_ledger_trace,
+    replay_decision,
+    verify_replay,
+    write_run_jsonl,
+)
+from repro.obs.ledger import load_jsonl as load_ledger_jsonl
+from repro.obs.metrics import MetricsRegistry, Sample, TimeSeries
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, load_jsonl
 
 __all__ = [
+    "DecisionLedger",
     "InvariantChecker",
+    "MetricsRegistry",
+    "NULL_LEDGER",
     "NULL_TRACER",
+    "NullLedger",
     "NullTracer",
+    "Sample",
+    "TimeSeries",
     "TraceEvent",
     "Tracer",
     "Violation",
+    "check_ledger_trace",
     "check_trace",
     "load_jsonl",
+    "load_ledger_jsonl",
+    "replay_decision",
+    "verify_replay",
+    "write_run_jsonl",
 ]

@@ -30,11 +30,18 @@ adaptation protocols, independent of any particular workload:
    survivor.
 7. **Recovery phase order** — every recovery session walks
    pausing → restoring → rerouting without skipping backwards.
+8. **Ledger ↔ trace bijection** (when a decision ledger was recorded) —
+   every ``spill``/``relocation`` span is justified by exactly one
+   executed ledger entry and vice versa, and every entry's recorded rule
+   inputs reproduce its decision when re-evaluated offline
+   (:meth:`InvariantChecker.check_ledger`).
 
 ``check_trace(events)`` returns a list of :class:`Violation`; an empty
 list means the trace upholds every contract.  The checker needs only the
 event stream — it can run on a live :class:`~repro.obs.trace.Tracer`'s
-``events`` or on records loaded back from JSONL.
+``events`` or on records loaded back from JSONL.  Pass the run's ledger
+entries as ``check_trace(events, ledger_entries=...)`` to include
+check 8.
 """
 
 from __future__ import annotations
@@ -105,6 +112,8 @@ class InvariantChecker:
         self._merged: dict[tuple[str, int], int] = {}
         self._skipped: dict[tuple[str, int], int] = {}
         self._cleanup_ran_stages: set[str] = set()
+        # spill/relocation begin events, kept for check_ledger (check 8)
+        self._adaptation_spans: list[TraceEvent] = []
 
     # ------------------------------------------------------------------
     def _fail(self, check: str, message: str, event: TraceEvent | None = None) -> None:
@@ -124,6 +133,8 @@ class InvariantChecker:
         self._check_dead_epoch(e)
 
         if e.phase == PHASE_BEGIN:
+            if e.name in ("relocation", "spill"):
+                self._adaptation_spans.append(e)
             if e.name == "relocation":
                 self._relocations[e.span] = _RelocationState(e.span, e.machine)
             elif e.name == "recovery":
@@ -421,6 +432,22 @@ class InvariantChecker:
                 f"recovery span {state.span} completed without phase events",
             )
 
+    # ------------------------------------------------------------------
+    # Check 8: ledger ↔ trace bijection (call after feed())
+    # ------------------------------------------------------------------
+    def check_ledger(self, entries) -> list[Violation]:
+        """Every spill/relocation span ↔ exactly one executed ledger entry,
+        and every entry replays to its recorded decision.  ``entries`` are
+        :class:`~repro.obs.ledger.DecisionLedger` entries (live or loaded
+        from JSONL).  Returns the new violations (also accumulated)."""
+        from repro.obs.ledger import check_ledger_trace, verify_replay
+
+        entries = list(entries)
+        found = check_ledger_trace(self._adaptation_spans, entries)
+        found.extend(verify_replay(entries))
+        self.violations.extend(found)
+        return found
+
     def _finish_spill_cleanup(self) -> None:
         if not self._cleanup_ran_stages:
             return  # cleanup never ran; nothing to match against
@@ -436,8 +463,18 @@ class InvariantChecker:
                 )
 
 
-def check_trace(events: Sequence[TraceEvent]) -> list[Violation]:
-    """Run every invariant over ``events``; returns the violations found."""
+def check_trace(
+    events: Sequence[TraceEvent],
+    *,
+    ledger_entries: Sequence[dict] | None = None,
+) -> list[Violation]:
+    """Run every invariant over ``events``; returns the violations found.
+
+    With ``ledger_entries`` (a run's decision-ledger entries) the ledger ↔
+    trace bijection and offline decision replay (check 8) run too.
+    """
     checker = InvariantChecker()
     checker.feed(events)
+    if ledger_entries is not None:
+        checker.check_ledger(ledger_entries)
     return checker.finish()

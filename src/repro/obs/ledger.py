@@ -1,0 +1,474 @@
+"""Adaptation decision ledger: *why* the run-time adaptation did what it did.
+
+PR 3's tracer records *what happened* (spans around every spill and
+relocation).  The ledger records *why*: every GC decision tick and every
+local-controller overflow check appends one structured entry carrying
+
+* the full rule inputs at decision time — per-machine memory, the
+  ``M_least/M_max`` ratio vs ``θ_r``, time since the last relocation vs
+  ``τ_m``, the machine productivity rates ``R`` vs ``λ``, the forced-spill
+  byte budget (``M_query − M_cluster``);
+* the rule that fired and the **alternatives considered**, each with the
+  concrete predicate (numbers substituted in) that rejected it;
+* the chosen victim partition groups with their productivity scores at
+  selection time (added by :meth:`DecisionLedger.annotate` once the
+  sender's local controller picks them);
+* the realized cost — bytes moved/spilled, pause duration, cleanup debt
+  delta (added by :meth:`DecisionLedger.realize` when the action lands);
+* the PR 3 ``trace_span`` id of the resulting spill/relocation span, so
+  the two records cross-link.
+
+The recorded inputs are complete enough to **re-evaluate the decision
+offline**: :func:`replay_decision` re-runs the coordinator's rule cascade
+(tie-breaks included) over an entry's inputs and must reproduce the
+recorded action, and :func:`check_ledger_trace` asserts the span↔entry
+mapping is bijective — every spill/relocation span is justified by
+exactly one executed ledger entry and vice versa.
+
+Like the tracer, the ledger follows the zero-overhead-when-disabled
+pattern: every producer holds :data:`NULL_LEDGER` unless a run opts in,
+and guards all record-assembly work behind ``ledger.enabled``.  Recording
+consumes no simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable
+
+from repro.obs.invariants import Violation
+from repro.obs.trace import PHASE_BEGIN, TraceEvent, _json_safe
+
+__all__ = [
+    "DecisionLedger",
+    "NULL_LEDGER",
+    "NullLedger",
+    "check_ledger_trace",
+    "load_jsonl",
+    "replay_decision",
+    "write_run_jsonl",
+]
+
+#: ledger entry kinds
+KIND_GC_TICK = "gc_tick"
+KIND_OVERFLOW_CHECK = "overflow_check"
+
+#: actions (``none`` marks a tick that chose to do nothing)
+ACTION_RELOCATE = "relocate"
+ACTION_FORCED_SPILL = "forced_spill"
+ACTION_SPILL = "spill"
+ACTION_NONE = "none"
+
+#: which trace-span name each executed action must be justified by
+_SPAN_NAME_FOR_ACTION = {
+    ACTION_RELOCATE: "relocation",
+    ACTION_FORCED_SPILL: "spill",
+    ACTION_SPILL: "spill",
+}
+
+
+class NullLedger:
+    """Shared no-op ledger; every producer site must guard record-assembly
+    work behind ``ledger.enabled`` so disabled runs pay nothing."""
+
+    enabled = False
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def record(self, *args: Any, **kwargs: Any) -> int:
+        return 0
+
+    def annotate(self, entry_id: int, **fields: Any) -> None:
+        pass
+
+    def realize(self, entry_id: int, **realized: Any) -> None:
+        pass
+
+
+NULL_LEDGER = NullLedger()
+
+
+class DecisionLedger:
+    """Append-only structured log of adaptation decisions.
+
+    Entries are plain dicts (JSON-ready) with this schema::
+
+        {
+          "id": 1,                    # 1-based, append order
+          "ts": 12.5,                 # simulator time of the decision
+          "site": "gc" | machine,     # who decided
+          "kind": "gc_tick" | "overflow_check",
+          "action": "relocate" | "forced_spill" | "spill" | "none",
+          "rule": "theta_r",          # the predicate that fired (or "idle"/...)
+          "inputs": {...},            # everything replay_decision needs
+          "alternatives": [           # the rejected branches, with numbers
+            {"action": "...", "outcome": "rejected",
+             "predicate": "min/max = 0.91 >= theta_r = 0.80"},
+            ...
+          ],
+          "trace_span": 7,            # PR 3 span id (0 = tracing disabled)
+          "victims": [...],           # via annotate(): picked groups + scores
+          "realized": {...},          # via realize(): bytes, durations, status
+        }
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock
+        self.entries: list[dict[str, Any]] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def record(
+        self,
+        site: str,
+        kind: str,
+        action: str,
+        rule: str,
+        inputs: dict[str, Any],
+        alternatives: list[dict[str, Any]] | None = None,
+        *,
+        trace_span: int = 0,
+    ) -> int:
+        """Append one decision entry; returns its id for later
+        :meth:`annotate` / :meth:`realize` calls."""
+        entry = {
+            "id": len(self.entries) + 1,
+            "ts": self.now,
+            "site": site,
+            "kind": kind,
+            "action": action,
+            "rule": rule,
+            "inputs": _json_safe(inputs),
+            "alternatives": _json_safe(alternatives or []),
+            "trace_span": trace_span,
+            "victims": [],
+            "realized": {},
+        }
+        self.entries.append(entry)
+        return entry["id"]
+
+    def get(self, entry_id: int) -> dict[str, Any]:
+        if not 1 <= entry_id <= len(self.entries):
+            raise KeyError(f"no ledger entry {entry_id}")
+        return self.entries[entry_id - 1]
+
+    def annotate(self, entry_id: int, **fields: Any) -> None:
+        """Attach follow-up facts to an entry (victim groups with their
+        productivity scores, the trace span once it exists)."""
+        if not entry_id:
+            return
+        entry = self.get(entry_id)
+        for key, value in fields.items():
+            entry[key] = _json_safe(value)
+
+    def realize(self, entry_id: int, **realized: Any) -> None:
+        """Merge realized-cost facts (bytes moved/spilled, pause duration,
+        cleanup debt delta, final status) into an entry."""
+        if not entry_id:
+            return
+        entry = self.get(entry_id)
+        entry["realized"].update(_json_safe(realized))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":")) + "\n"
+            for e in self.entries
+        )
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+
+def load_jsonl(path) -> list[dict[str, Any]]:
+    """Load ledger entries written by :meth:`DecisionLedger.write_jsonl`."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Offline replay: the recorded inputs must reproduce the decision
+# ----------------------------------------------------------------------
+def _replay_gc(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of :meth:`GlobalCoordinator.evaluate`'s rule cascade,
+    tie-breaks included, over recorded inputs."""
+    if inputs.get("deferred"):
+        return {"action": ACTION_NONE, "rule": "deferred"}
+    reports = inputs["reports"]  # worker-order, as the coordinator saw them
+    if len(reports) < 2:
+        return {"action": ACTION_NONE, "rule": "deferred"}
+
+    if inputs.get("relocation_enabled"):
+        # max()/min() with a (bytes, machine) key: exactly the coordinator's
+        # deterministic tie-break.
+        max_r = max(reports, key=lambda r: (r["state_bytes"], r["machine"]))
+        min_r = min(reports, key=lambda r: (r["state_bytes"], r["machine"]))
+        max_load, min_load = max_r["state_bytes"], min_r["state_bytes"]
+        if max_load > 0 and max_r["machine"] != min_r["machine"]:
+            if min_load / max_load < inputs["theta_r"]:
+                if inputs["now"] - inputs["last_relocation_time"] >= inputs["tau_m"]:
+                    amount = (max_load - min_load) // 2
+                    if amount >= inputs["min_relocation_bytes"]:
+                        return {
+                            "action": ACTION_RELOCATE,
+                            "sender": max_r["machine"],
+                            "receiver": min_r["machine"],
+                            "amount": amount,
+                        }
+
+    if inputs.get("forced_spill_enabled"):
+        if inputs["forced_spill_bytes_used"] < inputs["forced_spill_cap"]:
+            floor = inputs["forced_spill_pressure_floor"]
+            if any(r["state_bytes"] >= floor for r in reports):
+                rated = [
+                    (r["rate"], r) for r in reports if r["group_count"] > 0
+                ]
+                if len(rated) >= 2:
+                    # max()/min() return the FIRST extreme in report order —
+                    # the coordinator's list-order tie-break.
+                    max_rate, _ = max(rated, key=lambda x: x[0])
+                    min_rate, min_r = min(rated, key=lambda x: x[0])
+                    if min_rate <= 0:
+                        ratio = float("inf") if max_rate > 0 else 0.0
+                    else:
+                        ratio = max_rate / min_rate
+                    if ratio > inputs["lambda_productivity"]:
+                        remaining = (
+                            inputs["forced_spill_cap"]
+                            - inputs["forced_spill_bytes_used"]
+                        )
+                        amount = min(
+                            int(
+                                min_r["state_bytes"]
+                                * inputs["forced_spill_fraction"]
+                            ),
+                            remaining,
+                        )
+                        if amount > 0:
+                            return {
+                                "action": ACTION_FORCED_SPILL,
+                                "machine": min_r["machine"],
+                                "amount": amount,
+                            }
+
+    return {"action": ACTION_NONE}
+
+
+def _replay_overflow(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of :meth:`QueryEngine._ss_timer_expired` /
+    :meth:`QueryEngine._on_start_ss` gating."""
+    if inputs["mode"] != "normal":
+        return {"action": ACTION_NONE, "rule": "busy"}
+    if not inputs.get("forced") and inputs["state_bytes"] <= inputs["memory_threshold"]:
+        return {"action": ACTION_NONE, "rule": "under_threshold"}
+    return {"action": ACTION_SPILL}
+
+
+def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
+    """Re-evaluate a ledger entry's decision from its recorded inputs.
+
+    Returns a dict with at least ``action``; for executed GC decisions
+    also the chosen machine(s) and amount.  The acceptance criterion is
+    ``replay_decision(e)["action"] == e["action"]`` (plus matching
+    sender/receiver/amount) for every entry of a run.
+    """
+    if entry["kind"] == KIND_GC_TICK:
+        return _replay_gc(entry["inputs"])
+    if entry["kind"] == KIND_OVERFLOW_CHECK:
+        return _replay_overflow(entry["inputs"])
+    raise ValueError(f"unknown ledger entry kind {entry['kind']!r}")
+
+
+def verify_replay(entries: Iterable[dict[str, Any]]) -> list[Violation]:
+    """Replay every entry offline; report entries whose recorded inputs do
+    not reproduce the recorded decision."""
+    violations = []
+    for entry in entries:
+        replayed = replay_decision(entry)
+        if replayed["action"] != entry["action"]:
+            violations.append(
+                Violation(
+                    check="ledger_replay",
+                    message=(
+                        f"entry {entry['id']} recorded action "
+                        f"{entry['action']!r} but inputs replay to "
+                        f"{replayed['action']!r}"
+                    ),
+                    seq=entry["id"],
+                )
+            )
+            continue
+        for key in ("sender", "receiver", "machine", "amount"):
+            if key in replayed and entry["inputs"].get(f"chosen_{key}") not in (
+                None,
+                replayed[key],
+            ):
+                violations.append(
+                    Violation(
+                        check="ledger_replay",
+                        message=(
+                            f"entry {entry['id']} recorded {key}="
+                            f"{entry['inputs'][f'chosen_{key}']!r} but inputs "
+                            f"replay to {replayed[key]!r}"
+                        ),
+                        seq=entry["id"],
+                    )
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Ledger ↔ trace consistency (the InvariantChecker's new check)
+# ----------------------------------------------------------------------
+def _executed(entry: dict[str, Any]) -> bool:
+    """Whether the entry's action actually produced a spill/relocation
+    span.  Entries whose action never ran (engine busy, no victims —
+    ``realized.executed == False``) are exempt from the bijection."""
+    if entry["action"] == ACTION_NONE:
+        return False
+    return entry.get("realized", {}).get("executed", True) is not False
+
+
+def check_ledger_trace(
+    events: Iterable[TraceEvent],
+    entries: Iterable[dict[str, Any]],
+) -> list[Violation]:
+    """Assert the span↔entry mapping is bijective: every ``spill`` /
+    ``relocation`` trace span is justified by exactly one executed ledger
+    entry, and every executed entry points at exactly one span of the
+    right name."""
+    violations = []
+    spans: dict[int, TraceEvent] = {}
+    for event in events:
+        if event.phase == PHASE_BEGIN and event.name in ("spill", "relocation"):
+            spans[event.span] = event
+    claimed: dict[int, int] = {}  # span id -> entry id
+    for entry in entries:
+        if not _executed(entry):
+            continue
+        span_id = entry.get("trace_span", 0)
+        expected_name = _SPAN_NAME_FOR_ACTION[entry["action"]]
+        if not span_id:
+            violations.append(
+                Violation(
+                    check="ledger_trace",
+                    message=(
+                        f"executed ledger entry {entry['id']} "
+                        f"({entry['action']}) has no trace span"
+                    ),
+                    seq=entry["id"],
+                )
+            )
+            continue
+        if span_id not in spans:
+            violations.append(
+                Violation(
+                    check="ledger_trace",
+                    message=(
+                        f"ledger entry {entry['id']} points at span "
+                        f"{span_id}, which is not a spill/relocation span "
+                        f"in the trace"
+                    ),
+                    seq=entry["id"],
+                )
+            )
+            continue
+        if spans[span_id].name != expected_name:
+            violations.append(
+                Violation(
+                    check="ledger_trace",
+                    message=(
+                        f"ledger entry {entry['id']} ({entry['action']}) "
+                        f"points at a {spans[span_id].name!r} span, expected "
+                        f"{expected_name!r}"
+                    ),
+                    seq=entry["id"],
+                )
+            )
+            continue
+        if span_id in claimed:
+            violations.append(
+                Violation(
+                    check="ledger_trace",
+                    message=(
+                        f"span {span_id} justified by both ledger entries "
+                        f"{claimed[span_id]} and {entry['id']}"
+                    ),
+                    seq=entry["id"],
+                )
+            )
+            continue
+        claimed[span_id] = entry["id"]
+    for span_id in sorted(set(spans) - set(claimed)):
+        event = spans[span_id]
+        violations.append(
+            Violation(
+                check="ledger_trace",
+                message=(
+                    f"{event.name} span {span_id} on {event.machine!r} has "
+                    f"no justifying ledger entry"
+                ),
+                seq=event.seq,
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Run files: what `python -m repro.obs report` consumes
+# ----------------------------------------------------------------------
+def write_run_jsonl(
+    path,
+    *,
+    ledger: DecisionLedger | None = None,
+    registry=None,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write a self-contained run file: one ``meta`` record, every ledger
+    ``decision``, and every tracked-gauge ``series`` from the registry.
+
+    All content is simulator-clock data serialised with sorted keys, so
+    same-seed runs produce byte-identical files.
+    """
+    records: list[dict[str, Any]] = [{"kind": "meta", **_json_safe(meta or {})}]
+    if ledger is not None:
+        for entry in ledger.entries:
+            # nested: the entry has its own "kind" (gc_tick/overflow_check)
+            records.append({"kind": "decision", "decision": entry})
+    if registry is not None:
+        for name in registry.timeseries_names():
+            series = registry.timeseries(name)
+            records.append(
+                {
+                    "kind": "series",
+                    "name": name,
+                    "times": list(series.times),
+                    "values": list(series.values),
+                }
+            )
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")

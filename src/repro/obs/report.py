@@ -1,0 +1,573 @@
+"""Per-run report generator: turn a run file into an explained story.
+
+``python -m repro.obs report run.jsonl`` renders the self-contained run
+file written by :func:`repro.obs.ledger.write_run_jsonl` — run metadata,
+every decision-ledger entry and every sampled time series — into a
+markdown (or, with ``--html``, HTML) report showing
+
+* the throughput timeline and each machine's memory timeline, annotated
+  with the adaptation decisions that shaped them, and
+* a chronological decision log where every entry carries a plain-English
+  *why* line derived from its recorded rule inputs (numbers substituted
+  into the predicate that fired).
+
+``--diff other.jsonl`` compares two runs side by side — same workload
+under two strategies, or a before/after of a tuning change.
+
+Everything here is pure string formatting over simulator-clock data, so
+same-seed runs render byte-identical reports (an acceptance criterion
+tested in ``tests/test_obs_report.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "RunData",
+    "load_run",
+    "render_diff",
+    "render_html",
+    "render_markdown",
+    "why",
+]
+
+#: glyph column rendered under a timeline, one per decision action
+_MARKS = {"relocate": "R", "forced_spill": "F", "spill": "S"}
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_CHART_WIDTH = 64
+
+
+@dataclass
+class RunData:
+    """One parsed run file."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    decisions: list[dict[str, Any]] = field(default_factory=list)
+    #: series name -> (times, values)
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        end = 0.0
+        for times, _ in self.series.values():
+            if times:
+                end = max(end, times[-1])
+        for d in self.decisions:
+            end = max(end, float(d.get("ts", 0.0)))
+        return end
+
+    def machines(self) -> list[str]:
+        return sorted(
+            name.split(":", 1)[1]
+            for name in self.series
+            if name.startswith("memory:")
+        )
+
+
+def load_run(path) -> RunData:
+    """Parse a run file written by :func:`~repro.obs.ledger.write_run_jsonl`."""
+    run = RunData()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("kind", None)
+            if kind == "meta":
+                run.meta = record
+            elif kind == "decision":
+                run.decisions.append(record["decision"])
+            elif kind == "series":
+                run.series[record["name"]] = (
+                    [float(t) for t in record["times"]],
+                    [float(v) for v in record["values"]],
+                )
+    return run
+
+
+# ----------------------------------------------------------------------
+# Plain-English "why" lines
+# ----------------------------------------------------------------------
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{int(n)} B"
+
+
+def _fmt_num(x: float) -> str:
+    x = float(x)
+    if x == float("inf"):
+        return "inf"
+    if x == int(x):
+        return str(int(x))
+    return f"{x:.2f}"
+
+
+def _gc_ratio(inputs: dict[str, Any]) -> str:
+    reports = inputs.get("reports", [])
+    if len(reports) < 2:
+        return ""
+    loads = [r["state_bytes"] for r in reports]
+    lo, hi = min(loads), max(loads)
+    ratio = lo / hi if hi > 0 else 0.0
+    return (
+        f"M_least/M_max = {_fmt_bytes(lo)}/{_fmt_bytes(hi)} = {ratio:.2f}"
+    )
+
+
+def why(decision: dict[str, Any]) -> str:
+    """One plain-English sentence explaining a ledger entry's decision,
+    with the recorded numbers substituted into the rule that fired."""
+    inputs = decision.get("inputs", {})
+    action = decision.get("action")
+    rule = decision.get("rule", "")
+    realized = decision.get("realized", {})
+
+    if action == "relocate":
+        elapsed = float(inputs.get("now", 0)) - float(
+            inputs.get("last_relocation_time", 0)
+        )
+        spacing = (
+            "no relocation had run yet"
+            if elapsed == float("inf")
+            else f"{_fmt_num(elapsed)}s since the last relocation"
+        )
+        sentence = (
+            f"relocated {_fmt_bytes(inputs.get('chosen_amount', 0))} from "
+            f"{inputs.get('chosen_sender')} to {inputs.get('chosen_receiver')} "
+            f"because {_gc_ratio(inputs)} < "
+            f"theta_r = {_fmt_num(inputs.get('theta_r', 0))} and "
+            f"{spacing} (tau_m = {_fmt_num(inputs.get('tau_m', 0))}s)"
+        )
+        if realized.get("status") == "aborted":
+            sentence += f"; aborted ({realized.get('reason', 'unknown')})"
+        return sentence
+    if action == "forced_spill":
+        return (
+            f"ordered {inputs.get('chosen_machine')} to spill "
+            f"{_fmt_bytes(inputs.get('chosen_amount', 0))} because the "
+            f"productivity imbalance R_max/R_min = "
+            f"{_fmt_num(inputs.get('chosen_ratio', 0))} > "
+            f"lambda = {_fmt_num(inputs.get('lambda_productivity', 0))} "
+            f"within the forced-spill budget "
+            f"({_fmt_bytes(inputs.get('forced_spill_bytes_used', 0))} of "
+            f"{_fmt_bytes(inputs.get('forced_spill_cap', 0))} used)"
+        )
+    if action == "spill":
+        sentence = (
+            f"spilled because resident state "
+            f"{_fmt_bytes(inputs.get('state_bytes', 0))} > "
+            f"threshold = {_fmt_bytes(inputs.get('memory_threshold', 0))}"
+        )
+        if inputs.get("forced"):
+            sentence = (
+                f"executed a coordinator-forced spill of "
+                f"{_fmt_bytes(inputs.get('requested_amount', 0))}"
+            )
+        if realized.get("executed") is False:
+            sentence += f"; nothing happened ({realized.get('reason', 'unknown')})"
+        elif "bytes_spilled" in realized:
+            sentence += (
+                f"; moved {_fmt_bytes(realized['bytes_spilled'])} to disk in "
+                f"{_fmt_num(realized.get('duration', 0))}s"
+            )
+        return sentence
+    # action == "none"
+    if rule == "deferred":
+        return f"did nothing: deferred ({inputs.get('reason', 'unknown')})"
+    if rule == "busy":
+        return (
+            f"did nothing: the engine was mid-adaptation "
+            f"(mode {inputs.get('mode', '?')!r})"
+        )
+    if rule == "under_threshold":
+        return (
+            f"did nothing: resident state {_fmt_bytes(inputs.get('state_bytes', 0))} "
+            f"<= threshold = {_fmt_bytes(inputs.get('memory_threshold', 0))}"
+        )
+    # GC idle tick: surface the nearest-miss rejection predicate
+    alternatives = decision.get("alternatives", [])
+    if alternatives:
+        last = alternatives[-1]
+        return f"did nothing: {last.get('predicate', 'no rule fired')}"
+    return "did nothing: no rule fired"
+
+
+def _decision_site(decision: dict[str, Any]) -> str:
+    if decision.get("kind") == "gc_tick":
+        if decision.get("action") == "relocate":
+            return str(decision["inputs"].get("chosen_sender", ""))
+        if decision.get("action") == "forced_spill":
+            return str(decision["inputs"].get("chosen_machine", ""))
+        return ""
+    return str(decision.get("site", ""))
+
+
+def _headline(decision: dict[str, Any]) -> str:
+    return (
+        f"t={float(decision.get('ts', 0)):.1f}s  #{decision.get('id')} "
+        f"[{decision.get('site')}/{decision.get('kind')}] "
+        f"{decision.get('action')}: {why(decision)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# ASCII timelines
+# ----------------------------------------------------------------------
+def _chart(
+    times: list[float],
+    values: list[float],
+    *,
+    duration: float,
+    width: int = _CHART_WIDTH,
+) -> str:
+    """Render a series as one row of block glyphs, bucketed to ``width``
+    columns over ``[0, duration]``; each column shows its bucket maximum."""
+    if not times or duration <= 0:
+        return " " * width
+    buckets = [float("-inf")] * width
+    for t, v in zip(times, values):
+        col = min(int(t / duration * width), width - 1)
+        buckets[col] = max(buckets[col], v)
+    # forward-fill empty buckets so sparse sampling still reads as a line
+    last = values[0]
+    filled = []
+    for b in buckets:
+        if b == float("-inf"):
+            b = last
+        last = b
+        filled.append(b)
+    top = max(filled)
+    if top <= 0:
+        return _BLOCKS[0] * width
+    return "".join(
+        _BLOCKS[min(int(v / top * (len(_BLOCKS) - 1)), len(_BLOCKS) - 1)]
+        for v in filled
+    )
+
+
+def _marker_row(
+    decisions: list[dict[str, Any]],
+    *,
+    duration: float,
+    width: int = _CHART_WIDTH,
+) -> str:
+    """One row of R/F/S marks aligned under a chart's time axis."""
+    row = [" "] * width
+    if duration <= 0:
+        return "".join(row)
+    for d in decisions:
+        mark = _MARKS.get(d.get("action", ""))
+        if mark is None:
+            continue
+        col = min(int(float(d.get("ts", 0)) / duration * width), width - 1)
+        row[col] = "*" if row[col] not in (" ", mark) else mark
+    return "".join(row)
+
+
+def _axis(duration: float, width: int = _CHART_WIDTH) -> str:
+    left = "0s"
+    right = f"{duration:.0f}s"
+    pad = max(width - len(left) - len(right), 1)
+    return left + " " * pad + right
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+def _summarize(run: RunData) -> dict[str, Any]:
+    counts: dict[str, int] = {}
+    bytes_spilled = 0
+    bytes_relocated = 0
+    for d in run.decisions:
+        key = f"{d.get('kind')}/{d.get('action')}"
+        counts[key] = counts.get(key, 0) + 1
+        realized = d.get("realized", {})
+        bytes_spilled += int(realized.get("bytes_spilled", 0))
+        if d.get("action") == "relocate" and realized.get("status") == "done":
+            bytes_relocated += int(realized.get("bytes_moved", 0))
+    outputs = 0
+    if "outputs" in run.series and run.series["outputs"][1]:
+        outputs = int(run.series["outputs"][1][-1])
+    return {
+        "outputs": outputs,
+        "decision_counts": dict(sorted(counts.items())),
+        "bytes_spilled": bytes_spilled,
+        "bytes_relocated": bytes_relocated,
+        "decisions": len(run.decisions),
+    }
+
+
+def _acted(decisions: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    return [d for d in decisions if d.get("action") != "none"]
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
+    """Render one run as a markdown report."""
+    duration = run.duration
+    summary = _summarize(run)
+    lines: list[str] = ["# Run report", ""]
+
+    if run.meta:
+        lines.append("## Run")
+        lines.append("")
+        lines.append("| key | value |")
+        lines.append("| --- | --- |")
+        for key in sorted(run.meta):
+            lines.append(f"| {key} | {run.meta[key]} |")
+        lines.append("")
+
+    lines.append("## Summary")
+    lines.append("")
+    lines.append("| metric | value |")
+    lines.append("| --- | --- |")
+    lines.append(f"| outputs | {summary['outputs']} |")
+    lines.append(f"| decisions recorded | {summary['decisions']} |")
+    for key, count in summary["decision_counts"].items():
+        lines.append(f"| {key} | {count} |")
+    lines.append(f"| bytes spilled | {_fmt_bytes(summary['bytes_spilled'])} |")
+    lines.append(f"| bytes relocated | {_fmt_bytes(summary['bytes_relocated'])} |")
+    lines.append("")
+
+    acted = _acted(run.decisions)
+    if "outputs" in run.series:
+        times, values = run.series["outputs"]
+        lines.append("## Throughput (cumulative outputs)")
+        lines.append("")
+        lines.append("```")
+        lines.append(_chart(times, values, duration=duration))
+        lines.append(_marker_row(acted, duration=duration))
+        lines.append(_axis(duration))
+        lines.append("```")
+        lines.append("")
+        lines.append(
+            "Markers: `R` relocation, `S` spill, `F` forced spill, "
+            "`*` several decisions in one column."
+        )
+        lines.append("")
+
+    machines = run.machines()
+    if machines:
+        lines.append("## Per-machine memory")
+        lines.append("")
+        for machine in machines:
+            times, values = run.series[f"memory:{machine}"]
+            peak = max(values) if values else 0
+            mine = [d for d in acted if _decision_site(d) == machine]
+            lines.append(f"### {machine} (peak {_fmt_bytes(peak)})")
+            lines.append("")
+            lines.append("```")
+            lines.append(_chart(times, values, duration=duration))
+            lines.append(_marker_row(mine, duration=duration))
+            lines.append(_axis(duration))
+            lines.append("```")
+            lines.append("")
+            for d in mine:
+                lines.append(f"- {_headline(d)}")
+            if mine:
+                lines.append("")
+
+    lines.append("## Decision log")
+    lines.append("")
+    log = run.decisions if max_log is None else run.decisions[:max_log]
+    for d in log:
+        lines.append(f"- {_headline(d)}")
+        for victim in d.get("victims", []):
+            lines.append(
+                f"  - victim partition {victim.get('pid')}: "
+                f"{_fmt_bytes(victim.get('bytes', 0))}, "
+                f"productivity {_fmt_num(victim.get('score', 0))}"
+            )
+    if max_log is not None and len(run.decisions) > max_log:
+        lines.append(f"- ... {len(run.decisions) - max_log} more entries")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+def _svg_series(
+    times: list[float],
+    values: list[float],
+    decisions: list[dict[str, Any]],
+    *,
+    duration: float,
+    w: int = 640,
+    h: int = 120,
+) -> str:
+    """Inline SVG polyline with decision markers (no dependencies)."""
+    if not times or duration <= 0:
+        return f'<svg width="{w}" height="{h}"></svg>'
+    top = max(max(values), 1)
+    pts = " ".join(
+        f"{t / duration * w:.1f},{h - v / top * (h - 10):.1f}"
+        for t, v in zip(times, values)
+    )
+    marks = []
+    for d in decisions:
+        mark = _MARKS.get(d.get("action", ""))
+        if mark is None:
+            continue
+        x = float(d.get("ts", 0)) / duration * w
+        color = {"R": "#c0392b", "S": "#2980b9", "F": "#8e44ad"}[mark]
+        marks.append(
+            f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" y2="{h}" '
+            f'stroke="{color}" stroke-dasharray="2,2">'
+            f"<title>{_esc(_headline(d))}</title></line>"
+        )
+    return (
+        f'<svg width="{w}" height="{h}" style="background:#f8f8f8">'
+        f'<polyline fill="none" stroke="#2c3e50" stroke-width="1.5" '
+        f'points="{pts}"/>' + "".join(marks) + "</svg>"
+    )
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def render_html(run: RunData) -> str:
+    """Render one run as a standalone HTML page with inline SVG charts."""
+    duration = run.duration
+    summary = _summarize(run)
+    acted = _acted(run.decisions)
+    parts = [
+        "<!DOCTYPE html>",
+        '<html><head><meta charset="utf-8"><title>Run report</title>',
+        "<style>body{font-family:sans-serif;max-width:720px;margin:2em auto}"
+        "table{border-collapse:collapse}td,th{border:1px solid #ccc;"
+        "padding:2px 8px;text-align:left}li{margin:4px 0}</style>",
+        "</head><body>",
+        "<h1>Run report</h1>",
+    ]
+    if run.meta:
+        parts.append("<h2>Run</h2><table>")
+        for key in sorted(run.meta):
+            parts.append(
+                f"<tr><th>{_esc(key)}</th><td>{_esc(run.meta[key])}</td></tr>"
+            )
+        parts.append("</table>")
+    parts.append("<h2>Summary</h2><table>")
+    parts.append(f"<tr><th>outputs</th><td>{summary['outputs']}</td></tr>")
+    parts.append(
+        f"<tr><th>decisions recorded</th><td>{summary['decisions']}</td></tr>"
+    )
+    for key, count in summary["decision_counts"].items():
+        parts.append(f"<tr><th>{_esc(key)}</th><td>{count}</td></tr>")
+    parts.append(
+        f"<tr><th>bytes spilled</th>"
+        f"<td>{_esc(_fmt_bytes(summary['bytes_spilled']))}</td></tr>"
+    )
+    parts.append(
+        f"<tr><th>bytes relocated</th>"
+        f"<td>{_esc(_fmt_bytes(summary['bytes_relocated']))}</td></tr>"
+    )
+    parts.append("</table>")
+    if "outputs" in run.series:
+        times, values = run.series["outputs"]
+        parts.append("<h2>Throughput (cumulative outputs)</h2>")
+        parts.append(_svg_series(times, values, acted, duration=duration))
+    for machine in run.machines():
+        times, values = run.series[f"memory:{machine}"]
+        mine = [d for d in acted if _decision_site(d) == machine]
+        peak = max(values) if values else 0
+        parts.append(f"<h2>{_esc(machine)} memory (peak {_fmt_bytes(peak)})</h2>")
+        parts.append(_svg_series(times, values, mine, duration=duration))
+    parts.append("<h2>Decision log</h2><ul>")
+    for d in run.decisions:
+        parts.append(f"<li>{_esc(_headline(d))}</li>")
+    parts.append("</ul></body></html>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+def render_diff(a: RunData, b: RunData, *, label_a: str = "A",
+                label_b: str = "B") -> str:
+    """Compare two runs side by side (markdown)."""
+    sa, sb = _summarize(a), _summarize(b)
+    lines = [f"# Run diff: {label_a} vs {label_b}", ""]
+
+    meta_keys = sorted(set(a.meta) | set(b.meta))
+    if meta_keys:
+        lines.append("## Run")
+        lines.append("")
+        lines.append(f"| key | {label_a} | {label_b} |")
+        lines.append("| --- | --- | --- |")
+        for key in meta_keys:
+            va, vb = a.meta.get(key, "-"), b.meta.get(key, "-")
+            flag = "" if va == vb else " **≠**"
+            lines.append(f"| {key} | {va} | {vb}{flag} |")
+        lines.append("")
+
+    lines.append("## Summary")
+    lines.append("")
+    lines.append(f"| metric | {label_a} | {label_b} | delta |")
+    lines.append("| --- | --- | --- | --- |")
+
+    def _row(name: str, va: float, vb: float, fmt=lambda x: str(int(x))):
+        delta = vb - va
+        sign = "+" if delta >= 0 else ""
+        lines.append(
+            f"| {name} | {fmt(va)} | {fmt(vb)} | {sign}{fmt(delta)} |"
+        )
+
+    _row("outputs", sa["outputs"], sb["outputs"])
+    _row("decisions recorded", sa["decisions"], sb["decisions"])
+    for key in sorted(set(sa["decision_counts"]) | set(sb["decision_counts"])):
+        _row(
+            key,
+            sa["decision_counts"].get(key, 0),
+            sb["decision_counts"].get(key, 0),
+        )
+    _row("bytes spilled", sa["bytes_spilled"], sb["bytes_spilled"], _fmt_bytes)
+    _row("bytes relocated", sa["bytes_relocated"], sb["bytes_relocated"],
+         _fmt_bytes)
+    lines.append("")
+
+    machines = sorted(set(a.machines()) | set(b.machines()))
+    if machines:
+        lines.append("## Peak memory per machine")
+        lines.append("")
+        lines.append(f"| machine | {label_a} | {label_b} |")
+        lines.append("| --- | --- | --- |")
+        for machine in machines:
+            pa = max(a.series.get(f"memory:{machine}", ([], [0]))[1] or [0])
+            pb = max(b.series.get(f"memory:{machine}", ([], [0]))[1] or [0])
+            lines.append(
+                f"| {machine} | {_fmt_bytes(pa)} | {_fmt_bytes(pb)} |"
+            )
+        lines.append("")
+
+    duration = max(a.duration, b.duration)
+    for label, run in ((label_a, a), (label_b, b)):
+        if "outputs" not in run.series:
+            continue
+        times, values = run.series["outputs"]
+        lines.append(f"## Throughput — {label}")
+        lines.append("")
+        lines.append("```")
+        lines.append(_chart(times, values, duration=duration))
+        lines.append(_marker_row(_acted(run.decisions), duration=duration))
+        lines.append(_axis(duration))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -129,6 +129,25 @@ class CheckpointStore:
             self.bytes_written += entry.size_bytes
         self.commits += 1
 
+    def publish_metrics(self, registry) -> None:
+        """Pull-collector: cluster-wide durable-snapshot counters."""
+        registry.counter(
+            "repro_checkpoint_commits_total",
+            help="Commits applied to the snapshot registry",
+        ).set_total(self.commits)
+        registry.counter(
+            "repro_checkpoint_entries_total",
+            help="Snapshot entries written",
+        ).set_total(self.entries_written)
+        registry.counter(
+            "repro_checkpoint_registry_bytes_total",
+            help="Snapshot bytes written",
+        ).set_total(self.bytes_written)
+        registry.gauge(
+            "repro_checkpoint_registry_resident_bytes",
+            help="Durable snapshot state currently registered",
+        ).set(self.total_bytes)
+
     def latest(self, pid: int) -> CheckpointEntry | None:
         return self._latest.get(pid)
 

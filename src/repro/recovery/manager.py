@@ -78,6 +78,33 @@ class RecoveryManager:
         self.tuples_replayed_total = 0
         self.protocol_ignored = 0
 
+    def publish_metrics(self, registry) -> None:
+        """Pull-collector: recovery-protocol counters."""
+        registry.counter(
+            "repro_recovery_crashes_detected_total",
+            help="Machine failures declared by the detector",
+        ).set_total(self.crashes_detected)
+        registry.counter(
+            "repro_recovery_sessions_total",
+            help="Recovery sessions completed",
+        ).set_total(self.recoveries_completed)
+        registry.counter(
+            "repro_recovery_partitions_total",
+            help="Partitions re-homed by recovery",
+        ).set_total(self.partitions_recovered)
+        registry.counter(
+            "repro_recovery_bytes_restored_total",
+            help="Snapshot bytes restored",
+        ).set_total(self.bytes_restored_total)
+        registry.counter(
+            "repro_recovery_tuples_replayed_total",
+            help="Input tuples replayed from the source log",
+        ).set_total(self.tuples_replayed_total)
+        registry.counter(
+            "repro_recovery_protocol_ignored_total",
+            help="Stale recovery-protocol messages dropped",
+        ).set_total(self.protocol_ignored)
+
     # ------------------------------------------------------------------
     # Detection
     # ------------------------------------------------------------------

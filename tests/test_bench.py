@@ -191,3 +191,82 @@ class TestCli:
         ])
         assert (tmp_path / "benchmarks" / "results"
                 / "BENCH_myrun.json").exists()
+
+    def test_ledger_and_metrics_export(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.cli import main
+
+        run_path = tmp_path / "run.jsonl"
+        prom_path = tmp_path / "run.prom"
+        code = main([
+            "--strategy", "lazy_disk", "--workers", "2",
+            "--minutes", "0.5", "--threshold-kb", "10",
+            "--partitions", "8", "--tuple-range", "240",
+            "--interarrival-ms", "20", "--no-cleanup",
+            "--ledger", str(run_path), "--metrics", str(prom_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run file written" in out
+        assert "metrics written" in out
+        records = [json.loads(line)
+                   for line in run_path.read_text().splitlines()]
+        assert records[0]["kind"] == "meta"
+        assert records[0]["strategy"] == "lazy_disk"
+        assert any(r["kind"] == "decision" for r in records)
+        assert any(r["kind"] == "series" and r["name"] == "outputs"
+                   for r in records)
+        prom = prom_path.read_text()
+        assert "# TYPE repro_outputs_total counter" in prom
+        assert 'repro_state_bytes{machine="m1"}' in prom
+
+    def test_ledger_report_round_trip(self, tmp_path, capsys):
+        from repro.bench.cli import main as bench_main
+        from repro.obs.__main__ import main as obs_main
+
+        run_path = tmp_path / "run.jsonl"
+        bench_main([
+            "--strategy", "lazy_disk", "--workers", "2",
+            "--minutes", "0.5", "--threshold-kb", "10",
+            "--partitions", "8", "--tuple-range", "240",
+            "--interarrival-ms", "20", "--no-cleanup",
+            "--ledger", str(run_path),
+        ])
+        capsys.readouterr()
+        assert obs_main(["report", str(run_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "## Decision log" in out
+
+
+class TestTraceCheckMode:
+    def small_workload(self):
+        return WorkloadSpec.uniform(n_partitions=8, join_rate=3,
+                                    tuple_range=240, interarrival=0.05)
+
+    def test_repro_trace_check_includes_ledger(self, monkeypatch):
+        """REPRO_TRACE=check records a ledger and runs the bijection +
+        replay checks alongside the trace invariants."""
+        monkeypatch.setenv("REPRO_TRACE", "check")
+        result = run_experiment(
+            "t", self.small_workload(), strategy=StrategyName.LAZY_DISK,
+            workers=2, duration=30.0, sample_interval=10.0,
+            memory_threshold=10_000,
+            config_overrides=dict(ss_interval=2.0, coordinator_interval=5.0,
+                                  stats_interval=2.0),
+        )
+        assert result.spills > 0  # the checks had real spans to verify
+
+    def test_explicit_ledger_is_used(self):
+        from repro.obs.ledger import DecisionLedger
+
+        ledger = DecisionLedger()
+        run_experiment(
+            "t", self.small_workload(), strategy=StrategyName.LAZY_DISK,
+            workers=1, duration=20.0, sample_interval=10.0,
+            memory_threshold=10_000,
+            config_overrides=dict(ss_interval=2.0),
+            ledger=ledger,
+        )
+        assert len(ledger.entries) > 0

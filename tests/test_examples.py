@@ -61,3 +61,15 @@ def test_adaptive_cluster_runs_short(capsys):
     # one row per strategy plus the comparison table
     assert out.count(": done") == 5
     assert "lazy_disk" in out
+
+
+def test_explain_adaptation_runs_short(capsys):
+    module = load_example("explain_adaptation.py")
+    module.main(duration=60.0)
+    out = capsys.readouterr().out
+    # both strategies ran, their ledgers verified against their traces
+    assert out.count("ledger vs trace: consistent") == 2
+    assert "lazy_disk" in out and "active_disk" in out
+    # decision summaries and at least one plain-English why line
+    assert "decisions recorded" in out
+    assert "because" in out

@@ -1,0 +1,253 @@
+"""Tests for the unified metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, TimeSeries
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", help="things")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_child(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_labels_create_distinct_children(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a_total", labels={"m": "m1"})
+        b = reg.counter("a_total", labels={"m": "m2"})
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+    def test_negative_inc_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a_total").inc(-1)
+
+    def test_set_total_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a_total")
+        c.set_total(10)
+        c.set_total(10)  # equal is fine (re-collection)
+        c.set_total(12)
+        with pytest.raises(ValueError):
+            c.set_total(5)
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+
+
+class TestGauges:
+    def test_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+
+    def test_clock_stamps_updates(self):
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        g = reg.gauge("depth")
+        now[0] = 12.5
+        g.set(1)
+        assert g.last_ts == 12.5
+
+    def test_explicit_ts_beats_clock(self):
+        reg = MetricsRegistry(clock=lambda: 99.0)
+        g = reg.gauge("depth")
+        g.set(1, ts=3.0)
+        assert g.last_ts == 3.0
+
+
+class TestTrackedSeries:
+    def test_sample_builds_series(self):
+        reg = MetricsRegistry()
+        reg.sample(1.0, "memory:m1", 100)
+        reg.sample(2.0, "memory:m1", 150)
+        series = reg.timeseries("memory:m1")
+        assert series.times == (1.0, 2.0)
+        assert series.values == (100.0, 150.0)
+
+    def test_timeseries_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.sample(0.0, "outputs", 1)
+        reg.sample(0.0, "memory:m1", 1)
+        assert reg.timeseries_names() == ("memory:m1", "outputs")
+
+    def test_has_timeseries(self):
+        reg = MetricsRegistry()
+        reg.gauge("plain").set(1)
+        reg.sample(0.0, "tracked", 1)
+        assert not reg.has_timeseries("plain")
+        assert reg.has_timeseries("tracked")
+        assert not reg.has_timeseries("missing")
+
+    def test_out_of_order_sample_rejected(self):
+        series = TimeSeries("s")
+        series.append(5.0, 1)
+        with pytest.raises(ValueError):
+            series.append(4.0, 2)
+
+
+class TestHistograms:
+    def test_bucketing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(10.0, 100.0))
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]  # <=10, <=100, +Inf
+        assert h.count == 3
+        assert h.sum == 555
+
+    def test_boundary_lands_in_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", buckets=(10.0,))
+        h.observe(10.0)  # le="10" is inclusive (Prometheus semantics)
+        assert h.bucket_counts == [1, 0]
+
+
+class TestCollectors:
+    def test_collector_runs_at_exposition_only(self):
+        reg = MetricsRegistry()
+        calls = []
+
+        def publish(r):
+            calls.append(1)
+            r.counter("pulled_total").set_total(len(calls))
+
+        reg.register_collector(publish)
+        assert calls == []
+        reg.to_prometheus()
+        assert len(calls) == 1
+        reg.to_json()
+        assert len(calls) == 2
+
+
+class TestExposition:
+    def build(self):
+        now = [0.0]
+        reg = MetricsRegistry(clock=lambda: now[0])
+        now[0] = 1.5
+        reg.counter("repro_msgs_total", help="messages",
+                    labels={"kind": "stats"}).inc(3)
+        reg.gauge("repro_state_bytes", labels={"machine": "m1"}).set(2048)
+        reg.histogram("repro_bytes", buckets=(10.0, 100.0)).observe(50)
+        return reg
+
+    def test_prometheus_format(self):
+        text = self.build().to_prometheus()
+        assert "# HELP repro_msgs_total messages" in text
+        assert "# TYPE repro_msgs_total counter" in text
+        assert 'repro_msgs_total{kind="stats"} 3 1500' in text
+        assert 'repro_state_bytes{machine="m1"} 2048 1500' in text
+        assert 'repro_bytes_bucket{le="10"} 0 1500' in text
+        assert 'repro_bytes_bucket{le="100"} 1 1500' in text
+        assert 'repro_bytes_bucket{le="+Inf"} 1 1500' in text
+        assert "repro_bytes_sum 50 1500" in text
+        assert "repro_bytes_count 1 1500" in text
+
+    def test_prometheus_deterministic(self):
+        assert self.build().to_prometheus() == self.build().to_prometheus()
+
+    def test_json_shape(self):
+        doc = self.build().to_json()
+        assert {row["name"] for row in doc["counters"]} == {"repro_msgs_total"}
+        [gauge] = doc["gauges"]
+        assert gauge["labels"] == {"machine": "m1"}
+        assert gauge["value"] == 2048
+        [hist] = doc["histograms"]
+        assert hist["count"] == 1
+        # JSON buckets are per-bucket raw counts (the text format renders
+        # them cumulatively): 50 lands in the le=100 bucket
+        assert hist["buckets"] == {"10": 0, "100": 1, "+Inf": 0}
+
+    def test_json_carries_tracked_series(self):
+        reg = MetricsRegistry()
+        reg.sample(1.0, "outputs", 10)
+        reg.sample(2.0, "outputs", 20)
+        doc = reg.to_json()
+        [gauge] = doc["gauges"]
+        assert gauge["series"] == {"times": [1.0, 2.0], "values": [10.0, 20.0]}
+
+    def test_write_files(self, tmp_path):
+        reg = self.build()
+        prom = tmp_path / "m.prom"
+        js = tmp_path / "m.json"
+        reg.write_prometheus(prom)
+        reg.write_json(js)
+        assert prom.read_text().endswith("\n")
+        assert js.read_text().startswith("{")
+
+    def test_inf_rendered_as_prom_inf(self):
+        from repro.obs.metrics import _fmt
+
+        assert _fmt(math.inf) == "+Inf"
+        assert _fmt(2.0) == "2"
+        assert _fmt(2.5) == "2.5"
+
+
+class TestHubShim:
+    """The old MetricsHub API must keep working on top of the registry."""
+
+    def test_bump_and_counters_view(self):
+        from repro.cluster.metrics import MetricsHub
+
+        hub = MetricsHub()
+        hub.bump("tuples", 5)
+        hub.bump("tuples")
+        assert hub.counters["tuples"] == 6
+
+    def test_series_is_registry_timeseries(self):
+        from repro.cluster.metrics import MetricsHub
+
+        hub = MetricsHub()
+        hub.sample(1.0, "outputs", 42)
+        assert hub.series("outputs") is hub.registry.timeseries("outputs")
+        assert hub.has_series("outputs")
+        assert "outputs" in hub.series_names()
+
+    def test_event_log_mirrors_into_registry(self):
+        from repro.cluster.metrics import MetricsHub
+
+        hub = MetricsHub()
+        hub.events.record(3.0, "spill", "m1", bytes=1000, duration=0.5)
+        text = hub.registry.to_prometheus()
+        assert 'repro_adaptation_events_total{kind="spill"} 1 3000' in text
+
+    def test_deployment_registry_exposes_components(self):
+        from repro import AdaptationConfig, Deployment, StrategyName
+        from repro.workloads import WorkloadSpec, three_way_join
+
+        dep = Deployment(
+            join=three_way_join(),
+            workload=WorkloadSpec.uniform(n_partitions=8, join_rate=3,
+                                          tuple_range=240, interarrival=0.05),
+            workers=2,
+            config=AdaptationConfig(strategy=StrategyName.ALL_MEMORY),
+        )
+        dep.run(duration=20.0, sample_interval=10.0)
+        text = dep.metrics.registry.to_prometheus()
+        assert "repro_outputs_total" in text
+        assert 'repro_state_bytes{machine="m1"}' in text
+        assert "repro_network_messages_total" in text
+        assert "repro_gc_evaluations_total" in text
+        assert "repro_source_tuples_routed_total" in text
+        # figure series flow through the same registry
+        assert dep.metrics.registry.has_timeseries("outputs")
