@@ -64,6 +64,7 @@ def run_experiment(
     sample_interval: float = 120.0,
     memory_threshold: int = 3_000_000,
     batch_size: int = 50,
+    data_path: str = "batched",
     config_overrides: dict | None = None,
     cost: CostModel | None = None,
     with_cleanup: bool = False,
@@ -76,7 +77,9 @@ def run_experiment(
 
     This is the single entry point every benchmark uses, so all paper
     experiments share identical wiring and differ only in their declared
-    parameters.
+    parameters.  ``data_path`` selects the delivery representation —
+    ``tuple``, ``batched`` (default) or ``columnar`` — which changes
+    wall-clock cost only; outputs and adaptation behaviour are identical.
     """
     check_invariants = False
     if tracer is None and os.environ.get("REPRO_TRACE") == "check":
@@ -105,6 +108,7 @@ def run_experiment(
         cost=cost,
         assignment=assignment,
         batch_size=batch_size,
+        data_path=data_path,
         seed=seed,
         tracer=tracer,
         ledger=ledger,

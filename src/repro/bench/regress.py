@@ -2,22 +2,28 @@
 
 Everything else in :mod:`repro.bench` measures *simulated* time; this
 module measures the repository's own wall-clock performance, seeding the
-perf trajectory the ROADMAP asks for.  Four hot paths are timed:
+perf trajectory the ROADMAP asks for.  Five hot paths are timed:
 
 * ``join_*_tuples_per_s`` — tuples/sec through a 3-way join instance, on
-  the per-tuple reference path and the micro-batched path (their ratio is
-  ``join_batch_speedup``);
+  the per-tuple reference path, the micro-batched path and the columnar
+  structure-of-arrays path (ratios are ``join_batch_speedup`` — batched
+  over per-tuple — and ``join_columnar_speedup`` — columnar over batched);
 * ``spill_bytes_per_s`` — spill victim selection + evict + freeze + disk
   write, repeated until a populated store drains;
 * ``cleanup_tuples_per_s`` — the cleanup merge's incremental missing-count
   over a chain of spill generations;
 * ``relocation_bytes_per_s`` — a full pack/install round trip (evict on
-  the sender, thaw-install on the receiver).
+  the sender, thaw-install on the receiver);
+* ``serialize_*_bytes_per_s`` — the spill/restore serialization cycle
+  (snapshot every group, evict, install into a fresh store) on row-format
+  vs columnar state, isolating the zero-copy snapshot win
+  (``serialize_columnar_speedup``).
 
 Results go to ``benchmarks/results/BENCH_perf.json``; ``--check`` compares
 a fresh run against the committed baseline and fails the process when any
 throughput regressed by more than the tolerance (default 25%, matching the
-CI gate) or the batched join speedup fell below ``--min-speedup``.
+CI gate) or the batched/columnar join speedups fell below
+``--min-speedup`` / ``--min-columnar-speedup``.
 
 All benchmarks are single-process, allocation-heavy pure Python, so
 best-of-N repeats with modest sizes gives stable numbers; wall-clock noise
@@ -27,6 +33,8 @@ on shared CI runners is what the 25% tolerance absorbs.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import os
 import pathlib
@@ -40,6 +48,7 @@ from repro.cluster.simulation import Simulator
 from repro.core.cleanup import merge_missing_count
 from repro.core.config import CostModel
 from repro.core.spill import LessProductiveSpillPolicy, SpillExecutor
+from repro.engine.columns import ColumnBatch
 from repro.engine.state_store import StateStore
 from repro.engine.tuples import StreamTuple
 from repro.workloads.queries import three_way_join
@@ -50,9 +59,12 @@ SCHEMA = 1
 HIGHER_IS_BETTER = (
     "join_per_tuple_tuples_per_s",
     "join_batched_tuples_per_s",
+    "join_columnar_tuples_per_s",
     "spill_bytes_per_s",
     "cleanup_tuples_per_s",
     "relocation_bytes_per_s",
+    "serialize_row_bytes_per_s",
+    "serialize_columnar_bytes_per_s",
 )
 
 
@@ -95,45 +107,72 @@ def _fill_store(store: StateStore, batches) -> None:
         store.probe_insert_batch(batch)
 
 
+@contextlib.contextmanager
+def _quiesced():
+    """Pause the cyclic GC around a timed region.
+
+    The benchmarks allocate heavily while setting up (tuple objects, column
+    buffers, whole stores), so a generational collection landing inside one
+    timed region but not another swamps the very differences being
+    measured.  Collect up front, switch the collector off for the
+    measurement, and restore it afterwards.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
 # ----------------------------------------------------------------------
 # Micro-benchmarks (each returns a metrics fragment)
 # ----------------------------------------------------------------------
 def bench_join(n_tuples: int, batch_size: int, repeats: int) -> dict:
-    """Tuples/sec through a fresh 3-way join instance, both data paths.
+    """Tuples/sec through a fresh 3-way join instance, all three data paths.
 
-    The two paths must also agree on what they computed — a speedup that
-    changed the answer would be meaningless — so their total result counts
-    are asserted equal.
+    Column batches are built outside the timed region, mirroring the
+    deployment (the source host builds them once; the engine's hot loop
+    never sees tuple objects).  The paths must also agree on what they
+    computed — a speedup that changed the answer would be meaningless — so
+    their total result counts are asserted equal.
     """
     batches = synth_batches(n_tuples, batch_size=batch_size)
+    streams = three_way_join().stream_names
+    column_batches = [ColumnBatch.from_routed(b, streams) for b in batches]
     totals: dict[str, int] = {}
     rates: dict[str, float] = {}
-    for mode in ("per_tuple", "batched"):
+    for mode in ("per_tuple", "batched", "columnar"):
         best = 0.0
         for __ in range(repeats):
             sim = Simulator()
-            instance = three_way_join().make_instance(Machine(sim, "bench"))
-            start = time.perf_counter()
-            if mode == "batched":
-                for batch in batches:
-                    instance.process_batch(batch)
-            else:
-                for batch in batches:
-                    for pid, tup in batch:
-                        instance.process(pid, tup)
-            elapsed = time.perf_counter() - start
+            instance = three_way_join().make_instance(
+                Machine(sim, "bench"), columnar=mode == "columnar"
+            )
+            with _quiesced():
+                start = time.perf_counter()
+                if mode == "columnar":
+                    for cb in column_batches:
+                        instance.process_columns(cb)
+                elif mode == "batched":
+                    for batch in batches:
+                        instance.process_batch(batch)
+                else:
+                    for batch in batches:
+                        for pid, tup in batch:
+                            instance.process(pid, tup)
+                elapsed = time.perf_counter() - start
             best = max(best, n_tuples / elapsed)
         totals[mode] = instance.results_count
         rates[mode] = best
-    if totals["per_tuple"] != totals["batched"]:
-        raise AssertionError(
-            f"data paths disagree: per-tuple produced {totals['per_tuple']} "
-            f"results, batched {totals['batched']}"
-        )
+    if len(set(totals.values())) != 1:
+        raise AssertionError(f"data paths disagree on result counts: {totals}")
     return {
         "join_per_tuple_tuples_per_s": rates["per_tuple"],
         "join_batched_tuples_per_s": rates["batched"],
+        "join_columnar_tuples_per_s": rates["columnar"],
         "join_batch_speedup": rates["batched"] / rates["per_tuple"],
+        "join_columnar_speedup": rates["columnar"] / rates["batched"],
         "join_results": totals["batched"],
     }
 
@@ -154,15 +193,16 @@ def bench_spill(n_tuples: int, batch_size: int, repeats: int) -> dict:
         _fill_store(store, batches)
         executor = SpillExecutor(machine, Disk(), store, cost)
         policy = LessProductiveSpillPolicy()
-        start = time.perf_counter()
-        spilled = 0
-        while store.total_bytes:
-            amount = max(store.total_bytes // 10, 1)
-            outcome = executor.execute(policy, amount, now=sim.now)
-            if outcome is None:
-                break  # only empty groups remain
-            spilled += outcome.bytes_spilled
-        elapsed = time.perf_counter() - start
+        with _quiesced():
+            start = time.perf_counter()
+            spilled = 0
+            while store.total_bytes:
+                amount = max(store.total_bytes // 10, 1)
+                outcome = executor.execute(policy, amount, now=sim.now)
+                if outcome is None:
+                    break  # only empty groups remain
+                spilled += outcome.bytes_spilled
+            elapsed = time.perf_counter() - start
         sim.run()  # drain the queued spill tasks (not part of the timing)
         best = max(best, spilled / elapsed)
     return {"spill_bytes_per_s": best}
@@ -187,9 +227,10 @@ def bench_cleanup(n_tuples: int, batch_size: int, repeats: int) -> dict:
     best = 0.0
     missing = 0
     for __ in range(repeats):
-        start = time.perf_counter()
-        missing = merge_missing_count(parts, streams)
-        elapsed = time.perf_counter() - start
+        with _quiesced():
+            start = time.perf_counter()
+            missing = merge_missing_count(parts, streams)
+            elapsed = time.perf_counter() - start
         best = max(best, merged_tuples / elapsed)
     return {"cleanup_tuples_per_s": best, "cleanup_missing": missing}
 
@@ -206,24 +247,85 @@ def bench_relocation(n_tuples: int, batch_size: int, repeats: int) -> dict:
         _fill_store(sender, batches)
         pids = sender.partition_ids()
         moved = sender.total_bytes
-        start = time.perf_counter()
-        frozen = sender.evict(pids)
-        for snapshot in frozen:
-            receiver.install(snapshot)
-        elapsed = time.perf_counter() - start
+        with _quiesced():
+            start = time.perf_counter()
+            frozen = sender.evict(pids)
+            for snapshot in frozen:
+                receiver.install(snapshot)
+            elapsed = time.perf_counter() - start
         best = max(best, moved / elapsed)
     return {"relocation_bytes_per_s": best}
 
 
+def bench_serialize(n_tuples: int, batch_size: int, repeats: int) -> dict:
+    """Bytes/sec through a full spill/restore serialization cycle —
+    snapshot every live group (checkpoint-style ``state_of``), evict every
+    group (spill/relocation pack) and install the evicted snapshots into a
+    fresh store — on row-format vs columnar state.
+
+    This isolates what the columnar representation buys on the state
+    movement paths: snapshots copy (or, on evict, steal) flat column
+    buffers instead of re-materialising per-tuple objects.  The columnar
+    ingest defers splicing batch chunks into the group buffers until the
+    first reader; a warm-up snapshot pass flushes that deferred *ingest*
+    work during setup so the timed cycle measures serialization in the
+    steady state (periodic checkpoints keep real groups consolidated),
+    not a tail of insert-side cost.
+    """
+    batches = synth_batches(n_tuples, batch_size=batch_size, n_partitions=32)
+    streams = ("A", "B", "C")
+    column_batches = [ColumnBatch.from_routed(b, streams) for b in batches]
+    rates: dict[str, float] = {}
+    for mode in ("row", "columnar"):
+        columnar = mode == "columnar"
+        best = 0.0
+        for __ in range(repeats):
+            sim = Simulator()
+            store = StateStore(Machine(sim, "src"), streams, columnar=columnar)
+            if columnar:
+                for cb in column_batches:
+                    store.probe_insert_columns(cb)
+            else:
+                _fill_store(store, batches)
+            receiver = StateStore(Machine(sim, "dst"), streams,
+                                  columnar=columnar)
+            for pid in store.partition_ids():  # consolidate deferred ingest
+                store.state_of(pid)
+            pids = store.partition_ids()
+            # one snapshot pass + one evict pass + one install pass
+            cycle_bytes = 3 * store.total_bytes
+            with _quiesced():
+                start = time.perf_counter()
+                snapshots = [store.state_of(pid) for pid in pids]
+                frozen = store.evict(pids)
+                for snapshot in frozen:
+                    receiver.install(snapshot)
+                elapsed = time.perf_counter() - start
+            del snapshots
+            best = max(best, cycle_bytes / elapsed)
+        rates[mode] = best
+    return {
+        "serialize_row_bytes_per_s": rates["row"],
+        "serialize_columnar_bytes_per_s": rates["columnar"],
+        "serialize_columnar_speedup": rates["columnar"] / rates["row"],
+    }
+
+
 def run_benchmarks(
-    *, tuples: int = 60_000, batch_size: int = 25, repeats: int = 3
+    *, tuples: int = 60_000, batch_size: int = 50, repeats: int = 3
 ) -> dict:
-    """Run the full suite; returns the ``BENCH_perf.json`` document."""
+    """Run the full suite; returns the ``BENCH_perf.json`` document.
+
+    ``batch_size`` defaults to 50, matching the experiment harness
+    (:func:`repro.bench.harness.run_experiment`) so the regress suite
+    times the same delivery shape the experiments run with.
+    """
     metrics: dict = {}
     metrics.update(bench_join(tuples, batch_size, repeats))
     metrics.update(bench_spill(tuples // 2, batch_size, repeats))
     metrics.update(bench_cleanup(tuples // 10, batch_size, repeats))
     metrics.update(bench_relocation(tuples // 2, batch_size, repeats))
+    metrics.update(bench_serialize(tuples // 2, batch_size, repeats))
     return {
         "schema": SCHEMA,
         "params": {
@@ -240,14 +342,14 @@ def run_benchmarks(
 # Baseline comparison (the CI gate)
 # ----------------------------------------------------------------------
 def compare(fresh: dict, baseline: dict, *, tolerance: float,
-            min_speedup: float) -> list[str]:
+            min_speedup: float, min_columnar_speedup: float = 1.5) -> list[str]:
     """Regression messages for ``fresh`` vs ``baseline`` (empty = pass).
 
     A throughput metric regresses when it falls more than ``tolerance``
     (a fraction) below the baseline; improvements never fail.  The batched
-    join speedup is additionally gated absolutely, so the batched path
-    cannot quietly decay back to per-tuple cost even across baseline
-    refreshes.
+    and columnar join speedups are additionally gated absolutely, so
+    neither path can quietly decay back to the cost of the path below it
+    even across baseline refreshes.
     """
     problems: list[str] = []
     base_metrics = baseline.get("metrics", {})
@@ -263,12 +365,14 @@ def compare(fresh: dict, baseline: dict, *, tolerance: float,
                 f"{name}: {new:,.0f}/s is {1 - new / base:.0%} below the "
                 f"baseline {base:,.0f}/s (tolerance {tolerance:.0%})"
             )
-    speedup = new_metrics.get("join_batch_speedup")
-    if speedup is not None and speedup < min_speedup:
-        problems.append(
-            f"join_batch_speedup: {speedup:.2f}x is below the required "
-            f"{min_speedup:.2f}x"
-        )
+    for metric, required in (("join_batch_speedup", min_speedup),
+                             ("join_columnar_speedup", min_columnar_speedup)):
+        speedup = new_metrics.get(metric)
+        if speedup is not None and speedup < required:
+            problems.append(
+                f"{metric}: {speedup:.2f}x is below the required "
+                f"{required:.2f}x"
+            )
     return problems
 
 
@@ -279,8 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--tuples", type=int, default=60_000,
                         help="tuples through the join benchmark (default 60000)")
-    parser.add_argument("--batch-size", type=int, default=25,
-                        help="tuples per delivered batch (default 25)")
+    parser.add_argument("--batch-size", type=int, default=50,
+                        help="tuples per delivered batch (default 50, the "
+                             "experiment-harness delivery size)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats per benchmark (default 3)")
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
@@ -298,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-speedup", type=float, default=1.2,
                         help="required batched/per-tuple join speedup under "
                              "--check (default 1.2)")
+    parser.add_argument("--min-columnar-speedup", type=float, default=1.5,
+                        help="required columnar/batched join speedup under "
+                             "--check (default 1.5)")
     return parser
 
 
@@ -315,7 +423,9 @@ def main(argv: list[str] | None = None) -> int:
     print("wall-clock regression benchmarks")
     for name in HIGHER_IS_BETTER:
         print(f"  {name:<30} {metrics[name]:>14,.0f}/s")
-    print(f"  {'join_batch_speedup':<30} {metrics['join_batch_speedup']:>13.2f}x")
+    for name in ("join_batch_speedup", "join_columnar_speedup",
+                 "serialize_columnar_speedup"):
+        print(f"  {name:<30} {metrics[name]:>13.2f}x")
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
@@ -327,7 +437,8 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         problems = compare(document, baseline,
                            tolerance=args.tolerance,
-                           min_speedup=args.min_speedup)
+                           min_speedup=args.min_speedup,
+                           min_columnar_speedup=args.min_columnar_speedup)
         if problems:
             print("PERFORMANCE REGRESSION:", file=sys.stderr)
             for problem in problems:

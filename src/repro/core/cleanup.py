@@ -41,10 +41,9 @@ from repro.obs.trace import NULL_TRACER
 
 
 def _part_counts(part: FrozenPartitionGroup) -> dict[str, dict[int, int]]:
-    return {
-        stream: {key: len(bucket) for key, bucket in table.items()}
-        for stream, table in part.data.items()
-    }
+    # key_counts reads the columnar count table directly — no tuple
+    # materialisation for count-only cleanup estimates
+    return {stream: part.key_counts(stream) for stream in part.streams}
 
 
 def _cross_count(count_maps: Sequence[Mapping[int, int]]) -> int:

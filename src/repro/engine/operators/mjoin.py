@@ -75,9 +75,10 @@ class MJoin(Operator):
             "partitioned MJoinInstance objects created by deployment"
         )
 
-    def make_instance(self, machine: Machine) -> "MJoinInstance":
+    def make_instance(self, machine: Machine, *,
+                      columnar: bool = False) -> "MJoinInstance":
         """Create the physical instance hosted on ``machine``."""
-        return MJoinInstance(self, machine)
+        return MJoinInstance(self, machine, columnar=columnar)
 
 
 class MJoinInstance:
@@ -89,10 +90,11 @@ class MJoinInstance:
     store.
     """
 
-    def __init__(self, join: MJoin, machine: Machine) -> None:
+    def __init__(self, join: MJoin, machine: Machine, *,
+                 columnar: bool = False) -> None:
         self.join = join
         self.machine = machine
-        self.store = StateStore(machine, join.stream_names)
+        self.store = StateStore(machine, join.stream_names, columnar=columnar)
         self.results_count = 0
         self.tuples_in = 0
 
@@ -132,6 +134,28 @@ class MJoinInstance:
         self.tuples_in += len(batch)
         total, results = self.store.probe_insert_batch(
             batch, now=now, materialize=materialize, window=self.join.window
+        )
+        self.results_count += total
+        return total, results
+
+    def process_columns(
+        self,
+        cb,
+        *,
+        now: float = 0.0,
+        materialize: bool = False,
+    ) -> tuple[int, list[JoinResult]]:
+        """Probe-then-insert a routed :class:`~repro.engine.columns.ColumnBatch`
+        (columnar path; requires ``columnar=True``).
+
+        Produces exactly the results and statistics of calling
+        :meth:`process` per row in batch order, operating on flat columns
+        throughout (see
+        :meth:`~repro.engine.state_store.StateStore.probe_insert_columns`).
+        """
+        self.tuples_in += len(cb)
+        total, results = self.store.probe_insert_columns(
+            cb, now=now, materialize=materialize, window=self.join.window
         )
         self.results_count += total
         return total, results

@@ -300,6 +300,17 @@ class FrozenPartitionGroup:
         for bucket in self.data[stream].values():
             yield from bucket
 
+    def idents(self) -> frozenset[tuple[str, int]]:
+        """Global ``(stream, seq)`` identities of every snapshotted tuple."""
+        return frozenset(
+            tup.ident for table in self.data.values()
+            for bucket in table.values() for tup in bucket
+        )
+
+    def key_counts(self, stream: str) -> dict[int, int]:
+        """``{key: tuple count}`` histogram for one input stream."""
+        return {key: len(bucket) for key, bucket in self.data[stream].items()}
+
     def keys(self) -> set[int]:
         """All join-key values present in any input of this snapshot."""
         keys: set[int] = set()

@@ -91,6 +91,13 @@ class Deployment:
         point (default).  ``False`` selects the per-tuple reference path;
         the two produce byte-identical outputs and traces, so this switch
         exists for equivalence testing and benchmarking only.
+    data_path:
+        Explicit data-path selector: ``"tuple"``, ``"batched"`` or
+        ``"columnar"`` (structure-of-arrays batches end to end, including
+        columnar partition-group state and zero-copy spill/relocation/
+        checkpoint snapshots).  ``None`` (default) defers to
+        ``batched_data_path``.  All three paths produce byte-identical
+        outputs and traces on the same seed.
     payload_fn:
         Optional payload builder passed to the tuple generators.
     memory_capacity:
@@ -123,10 +130,19 @@ class Deployment:
         memory_capacity: int | None = None,
         ship_results: bool = False,
         batched_data_path: bool = True,
+        data_path: str | None = None,
         seed: int = 11,
         tracer=None,
         ledger=None,
     ) -> None:
+        if data_path is None:
+            data_path = "batched" if batched_data_path else "tuple"
+        if data_path not in ("tuple", "batched", "columnar"):
+            raise ValueError(
+                f"unknown data path {data_path!r} "
+                "(expected 'tuple', 'batched' or 'columnar')"
+            )
+        self.data_path = data_path
         if isinstance(workers, int):
             if workers <= 0:
                 raise ValueError("need at least one worker")
@@ -207,7 +223,10 @@ class Deployment:
             for stream in join.stream_names
         }
         self.instances = {
-            name: join.make_instance(self.machines[name]) for name in workers
+            name: join.make_instance(
+                self.machines[name], columnar=data_path == "columnar"
+            )
+            for name in workers
         }
 
         # --- sinks ------------------------------------------------------
@@ -240,7 +259,7 @@ class Deployment:
                 self.collector,
                 materialize=materialize,
                 app_server=app_name,
-                batched=batched_data_path,
+                data_path=data_path,
                 seed=seed + i,
             )
             for i, name in enumerate(workers)
@@ -255,6 +274,7 @@ class Deployment:
             record_inputs=record_inputs,
             transforms=input_transforms,
             keep_replay_log=config.checkpoint_enabled,
+            data_path=data_path,
         )
         self.coordinator = GlobalCoordinator(
             self.sim,

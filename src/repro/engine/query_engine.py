@@ -91,6 +91,7 @@ class QueryEngine:
         materialize: bool = False,
         app_server: str | None = None,
         batched: bool = True,
+        data_path: str | None = None,
         seed: int = 11,
     ) -> None:
         self.sim = sim
@@ -104,10 +105,17 @@ class QueryEngine:
         self.collector = collector
         self.coordinator_name = coordinator_name
         self.materialize = materialize
-        #: process delivered batches through the amortised store entry
-        #: point (``False`` falls back to the per-tuple reference path;
-        #: both produce byte-identical outputs and traces)
-        self.batched = batched
+        #: which store entry point processes delivered batches: ``tuple``
+        #: (per-tuple reference path), ``batched`` (amortised row path) or
+        #: ``columnar`` (structure-of-arrays path).  All three produce
+        #: byte-identical outputs and traces.  ``None`` defers to the
+        #: legacy ``batched`` flag.
+        if data_path is None:
+            data_path = "batched" if batched else "tuple"
+        if data_path not in ("tuple", "batched", "columnar"):
+            raise ValueError(f"unknown data path {data_path!r}")
+        self.data_path = data_path
+        self.batched = data_path != "tuple"
         #: when set, result batches ship over the network to this machine
         #: (the paper's application server) instead of being credited
         #: locally
@@ -139,6 +147,30 @@ class QueryEngine:
         self.checkpointer: "CheckpointManager | None" = None
         self._output_buffer: list = []
         self._output_buffer_count = 0
+        # Per-batch efficiency histograms (satellite of the columnar PR):
+        # created once so the data path pays one method call per batch.
+        # Observations use simulated time/durations only — wall clock never
+        # leaks in, keeping same-seed run files byte-identical.
+        labels = {"machine": machine.name}
+        registry = metrics.registry
+        self._h_batch_tuples = registry.histogram(
+            "repro_batch_tuples",
+            help="Tuples per delivered data batch",
+            buckets=(1, 2, 5, 10, 25, 50, 100, 250, 1000),
+            labels=labels,
+        )
+        self._h_batch_probe = registry.histogram(
+            "repro_batch_probe_seconds",
+            help="Simulated probe-insert service time per delivered batch",
+            buckets=(1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0),
+            labels=labels,
+        )
+        self._h_batch_results = registry.histogram(
+            "repro_batch_results",
+            help="Join results produced per delivered batch",
+            buckets=(1, 10, 100, 1000, 10000),
+            labels=labels,
+        )
         network.register(machine.name, self.deliver)
 
     @property
@@ -251,6 +283,12 @@ class QueryEngine:
             DynamicTask(lambda: self._process_batch(batch), label="tuple_batch")
         )
 
+    def _on_column_batch(self, message: Message) -> None:
+        cb = message.payload
+        self.machine.submit(
+            DynamicTask(lambda: self._process_columns(cb), label="column_batch")
+        )
+
     def _process_batch(self, batch: list[tuple[int, StreamTuple]]):
         if self.batched:
             total, collected = self.instance.process_batch(
@@ -267,7 +305,24 @@ class QueryEngine:
                 if results:
                     collected.extend(results)
         duration = len(batch) * self.cost.probe_cost + total * self.cost.result_cost
+        self._observe_batch(len(batch), total, duration)
+        return duration, self._finisher(total, collected)
 
+    def _process_columns(self, cb):
+        total, collected = self.instance.process_columns(
+            cb, now=self.sim.now, materialize=self.materialize
+        )
+        duration = len(cb) * self.cost.probe_cost + total * self.cost.result_cost
+        self._observe_batch(len(cb), total, duration)
+        return duration, self._finisher(total, collected)
+
+    def _observe_batch(self, batch_len: int, total: int, duration: float) -> None:
+        now = self.sim.now
+        self._h_batch_tuples.observe(batch_len, ts=now)
+        self._h_batch_probe.observe(duration, ts=now)
+        self._h_batch_results.observe(total, ts=now)
+
+    def _finisher(self, total: int, collected: list):
         def finish() -> None:
             if self.checkpointer is not None:
                 # Output-commit-at-checkpoint: results stay buffered until
@@ -287,7 +342,7 @@ class QueryEngine:
                 self.collector.add(total, collected, self.sim.now,
                                    source=self.name)
 
-        return duration, finish
+        return finish
 
     def flush_outputs(self) -> None:
         """Release buffered results downstream (runs at durable commits
@@ -787,9 +842,12 @@ class SourceHost:
         record_inputs: bool = False,
         transforms: dict[str, list] | None = None,
         keep_replay_log: bool = False,
+        data_path: str = "batched",
     ) -> None:
         if not splits:
             raise ValueError("source host needs at least one split")
+        if data_path not in ("tuple", "batched", "columnar"):
+            raise ValueError(f"unknown data path {data_path!r}")
         if transforms:
             unknown = set(transforms) - set(splits)
             if unknown:
@@ -804,6 +862,12 @@ class SourceHost:
         self.metrics = metrics
         self.coordinator_name = coordinator_name
         self.record_inputs = record_inputs
+        #: ``columnar`` forwards routed batches as structure-of-arrays
+        #: :class:`~repro.engine.columns.ColumnBatch` messages, built once
+        #: here at the source; other paths ship ``(pid, tuple)`` lists.
+        self.data_path = data_path
+        #: join input order — the stream-index space of column batches
+        self._stream_order = tuple(splits)
         #: per-stream stateless operator chains (select/project) applied
         #: before partitioning — the standard state-reduction step the
         #: paper assumes has already been pushed ahead of the join
@@ -871,6 +935,15 @@ class SourceHost:
         by_owner: dict[str, list[tuple[int, StreamTuple]]] = {}
         for owner, pid, tup in routed:
             by_owner.setdefault(owner, []).append((pid, tup))
+        if self.data_path == "columnar":
+            from repro.engine.columns import ColumnBatch
+
+            for owner, batch in by_owner.items():
+                cb = ColumnBatch.from_routed(batch, self._stream_order)
+                self.network.send(
+                    self.name, owner, "column_batch", cb, cb.total_size
+                )
+            return
         for owner, batch in by_owner.items():
             size = sum(t.size for __, t in batch)
             self.network.send(self.name, owner, "tuple_batch", batch, size)

@@ -19,12 +19,21 @@ from itertools import count as _counter
 from typing import Callable, Iterable, Iterator
 
 from repro.cluster.machine import Machine
+from repro.engine.columns import (
+    ColumnBatch,
+    ColumnarPartitionGroup,
+    others_table,
+)
 from repro.engine.partitions import (
     GROUP_OVERHEAD_BYTES,
     FrozenPartitionGroup,
     PartitionGroup,
 )
 from repro.engine.tuples import JoinResult, StreamTuple
+
+#: The two "other inputs" of each stream of a 3-way join, unrolled for the
+#: columnar hot loop (the overwhelmingly common arity here).
+_PAIRS3 = ((1, 2), (0, 2), (0, 1))
 
 #: Victim-index order names (see :meth:`StateStore.pick_victims`).
 ORDER_PRODUCTIVITY_ASC = "productivity_asc"
@@ -121,11 +130,19 @@ class StateStore:
         The hosting machine; every byte of group state is allocated from it.
     streams:
         Ordered input-stream names of the owning join.
+    columnar:
+        Store partition-group state in the columnar (structure-of-arrays)
+        representation.  Observable behaviour — results, order, counters,
+        victim orderings — is identical to the row representation; only
+        the storage layout and the hot-path cost differ.
     """
 
-    def __init__(self, machine: Machine, streams: tuple[str, ...]) -> None:
+    def __init__(self, machine: Machine, streams: tuple[str, ...],
+                 *, columnar: bool = False) -> None:
         self.machine = machine
         self.streams = streams
+        self.columnar = columnar
+        self._group_cls = ColumnarPartitionGroup if columnar else PartitionGroup
         self._groups: dict[int, PartitionGroup] = {}
         #: next spill generation per partition ID on this machine
         self._next_generation: dict[int, int] = {}
@@ -154,6 +171,20 @@ class StateStore:
                 lambda g: (-g.size_bytes, g.pid)
             ),
         }
+        #: Bound dirty-set inserts of the victim heaps.  The heap set and
+        #: its ``_dirty`` set live for the store's whole lifetime (cleared
+        #: in place, never reassigned), so :meth:`_touch` — called once
+        #: per (pid, batch) on the hot path — can skip the dict-view and
+        #: method dispatch of ``for heap in ...: heap.mark(pid)``.
+        self._heap_marks = tuple(
+            heap._dirty.add for heap in self._victim_heaps.values()
+        )
+        #: Columnar hot-loop context per live group: ``(group, counts,
+        #: counts.get, _chunks.append)``.  Valid while the count table's
+        #: *identity* holds; every site that replaces it (purge rebuilds
+        #: the table) or retires the group (evict, install, crash)
+        #: invalidates the entry.  Only populated on columnar stores.
+        self._colhot: dict[int, tuple] = {}
 
     def _touch(self, pid: int, count: int = 1) -> None:
         """Record ``count`` mutations of one live group.
@@ -165,8 +196,8 @@ class StateStore:
         (or serve victim selections from stale scores).
         """
         self.mutations[pid] = self.mutations.get(pid, 0) + count
-        for heap in self._victim_heaps.values():
-            heap.mark(pid)
+        for mark in self._heap_marks:
+            mark(pid)
 
     # ------------------------------------------------------------------
     # Group access
@@ -177,14 +208,15 @@ class StateStore:
         grp = self._groups.get(pid)
         if grp is None:
             generation = self._next_generation.get(pid, 0)
-            grp = PartitionGroup(pid, self.streams, generation=generation, created_at=now)
+            grp = self._group_cls(pid, self.streams, generation=generation,
+                                  created_at=now)
             self._groups[pid] = grp
             self.machine.allocate(GROUP_OVERHEAD_BYTES)
             self.total_bytes += GROUP_OVERHEAD_BYTES
             # index the newborn group (creation is not a checkpoint-relevant
             # mutation — an unseen pid already reads as dirty there)
-            for heap in self._victim_heaps.values():
-                heap.mark(pid)
+            for mark in self._heap_marks:
+                mark(pid)
         return grp
 
     def peek(self, pid: int) -> PartitionGroup | None:
@@ -259,6 +291,7 @@ class StateStore:
         """
         groups = self._groups
         streams = self.streams
+        row_groups = not self.columnar
         total = 0
         collected: list[JoinResult] = []
         added = 0
@@ -274,7 +307,7 @@ class StateStore:
                     count, results = grp.probe(tup, materialize=True)
                     if results:
                         collected.extend(results)
-                else:
+                elif row_groups:
                     data = grp._data
                     key = tup.key
                     count = 1
@@ -286,6 +319,8 @@ class StateStore:
                             count = 0
                             break
                         count *= len(matches)
+                else:
+                    count, __ = grp.probe(tup)
             else:
                 count, results = grp.probe_windowed(
                     tup, window, materialize=materialize
@@ -306,6 +341,175 @@ class StateStore:
             self._touch(pid, mutation_count)
         return total, collected
 
+    def probe_insert_columns(
+        self,
+        cb: ColumnBatch,
+        *,
+        now: float = 0.0,
+        materialize: bool = False,
+        window: float | None = None,
+    ) -> tuple[int, list[JoinResult]]:
+        """Probe-insert a whole routed :class:`ColumnBatch` (columnar path).
+
+        Semantically identical to :meth:`probe_insert` per row in batch
+        order — same probe/insert interleaving, same per-pid mutation
+        counter values, same victim orderings, byte-identical results —
+        but the unwindowed count-only hot path runs entirely on flat
+        columns: per row it is one dict lookup, an integer product and a
+        handful of list appends, with group counters, memory accounting
+        and :meth:`_touch` amortised to one update per touched group.
+        ``StreamTuple`` objects are only created when results materialise
+        or a window forces timestamp enumeration.
+        """
+        n = len(cb)
+        if n == 0:
+            return 0, []
+        if not self.columnar:
+            raise ValueError("probe_insert_columns requires a columnar store "
+                             "(StateStore(columnar=True))")
+        groups = self._groups
+        pids = cb.pids
+        sids = cb.sids
+        seqs = cb.seqs
+        keys = cb.keys
+        tss = cb.ts
+        sizes = cb.sizes
+        usize = cb.usize
+        pays = cb.payloads
+        m = len(self.streams)
+        others = others_table(m)
+        total = 0
+        collected: list[JoinResult] = []
+        if window is None and not materialize and sizes is None and pays is None:
+            # Hot path: uniform sizes, no payloads, count-only probes — no
+            # results to order, so the batch's pid-segmented storage order
+            # is the processing order (counting only ever interacts
+            # *within* a partition group, and segments preserve both the
+            # within-pid arrival order and the first-occurrence group
+            # creation order).  Per segment: bind the count table once,
+            # run one tight loop over the column slice, then hand the
+            # group a single chunk *reference* into the batch's columns —
+            # the rows are spliced into the group's buffers lazily, by
+            # ``ColumnarPartitionGroup._consolidate``, only if something
+            # (index build, purge, freeze, materialisation) ever reads
+            # them — and flush accounting in one update.
+            added = 0
+            pair = _PAIRS3 if m == 3 else None
+            colhot = self._colhot
+            colhot_get = colhot.get
+            touch = self._touch
+            for pid, start, end in cb.segments:
+                ctx = colhot_get(pid)
+                if ctx is None:
+                    grp = groups.get(pid)
+                    if grp is None:
+                        grp = self.group(pid, now=now)
+                    counts = grp._counts
+                    colhot[pid] = ctx = (grp, counts, counts.get,
+                                         grp._chunks.append)
+                grp, counts, counts_get, add_chunk = ctx
+                if grp.row_size is None:
+                    if grp._usize < 0:
+                        grp._usize = usize
+                    elif grp._usize != usize:
+                        # existing rows were recorded at another uniform
+                        # size; switch to an explicit size column first
+                        grp.promote_sizes()
+                out = 0
+                if pair is not None:
+                    for i in range(start, end):
+                        key = keys[i]
+                        sid = sids[i]
+                        c = counts_get(key)
+                        if c is None:
+                            counts[key] = c = [0, 0, 0]
+                        else:
+                            j0, j1 = pair[sid]
+                            out += c[j0] * c[j1]
+                        c[sid] += 1
+                else:
+                    for i in range(start, end):
+                        key = keys[i]
+                        sid = sids[i]
+                        c = counts_get(key)
+                        if c is None:
+                            counts[key] = c = [0] * m
+                        else:
+                            count = 1
+                            for j in others[sid]:
+                                count *= c[j]
+                            out += count
+                        c[sid] += 1
+                nrows = end - start
+                add_chunk((sids, seqs, keys, tss, start, end, usize))
+                grp.tuple_count += nrows
+                nbytes = nrows * usize
+                grp.size_bytes += nbytes
+                grp.output_count += out
+                added += nbytes
+                total += out
+                touch(pid, nrows)
+            if added:
+                self.machine.allocate(added)
+                self.total_bytes += added
+            self.outputs_total += total
+            self.tuples_processed += n
+            return total, []
+        # General path: per-row sizes/payloads, windows or materialisation.
+        # Result order is observable here, so rows are processed in arrival
+        # order (through ``perm``); still column-native for counting, with
+        # tuples materialised only at the result-emission boundary.
+        stream_names = cb.streams
+        perm = cb.perm
+        added = 0
+        touched: dict[int, int] = {}
+        for orig in range(n):
+            i = perm[orig] if perm is not None else orig
+            pid = pids[i]
+            grp = groups.get(pid)
+            if grp is None:
+                grp = self.group(pid, now=now)
+            sid = sids[i]
+            key = keys[i]
+            ts = tss[i]
+            size = sizes[i] if sizes is not None else usize
+            payload = pays[i] if pays is not None else ()
+            if materialize:
+                tup = StreamTuple(stream=stream_names[sid], seq=seqs[i],
+                                  key=key, ts=ts, size=size, payload=payload)
+                if window is None:
+                    count, results = grp.probe(tup, materialize=True)
+                else:
+                    count, results = grp.probe_windowed(tup, window,
+                                                        materialize=True)
+                if results:
+                    collected.extend(results)
+                grp.insert(tup)
+            else:
+                if window is None:
+                    c = grp._counts.get(key)
+                    if c is None:
+                        count = 0
+                    else:
+                        count = 1
+                        for j in others[sid]:
+                            count *= c[j]
+                else:
+                    count = grp.probe_windowed_count(sid, key, ts, window)
+                grp.insert_cols(sid, seqs[i], key, ts, size, payload)
+            grp.output_count += count
+            total += count
+            added += size
+            touched[pid] = touched.get(pid, 0) + 1
+        if added:
+            self.machine.allocate(added)
+            self.total_bytes += added
+        self.outputs_total += total
+        self.tuples_processed += n
+        for pid, mutation_count in touched.items():
+            self._touch(pid, mutation_count)
+        return total, collected
+
     # ------------------------------------------------------------------
     # Adaptation paths
     # ------------------------------------------------------------------
@@ -318,16 +522,24 @@ class StateStore:
         number, preserving merge order for cleanup.
         """
         frozen: list[FrozenPartitionGroup] = []
+        columnar = self.columnar
         for pid in pids:
             grp = self._groups.pop(pid, None)
             if grp is None:
                 continue
-            snapshot = grp.freeze()
+            if columnar:
+                # the live group is discarded right here, so the snapshot
+                # can steal its column buffers outright (zero-copy spill /
+                # relocation payload)
+                snapshot = grp.freeze(share=True)
+            else:
+                snapshot = grp.freeze()
             frozen.append(snapshot)
             self._next_generation[pid] = grp.generation + 1
             self.machine.release(grp.size_bytes)
             self.total_bytes -= grp.size_bytes
             self.mutations.pop(pid, None)
+            self._colhot.pop(pid, None)
             for heap in self._victim_heaps.values():
                 heap.discard(pid)
         return frozen
@@ -339,8 +551,9 @@ class StateStore:
                 f"partition {frozen.pid} already live on machine "
                 f"{self.machine.name!r}; relocation mapping is inconsistent"
             )
-        grp = PartitionGroup.thaw(frozen, created_at=now)
+        grp = self._group_cls.thaw(frozen, created_at=now)
         self._groups[frozen.pid] = grp
+        self._colhot.pop(frozen.pid, None)
         nxt = self._next_generation.get(frozen.pid, 0)
         self._next_generation[frozen.pid] = max(nxt, frozen.generation + 1)
         self.machine.allocate(grp.size_bytes)
@@ -366,6 +579,8 @@ class StateStore:
             if not dropped:
                 continue
             purged += dropped
+            # the purge swapped in rebuilt column buffers
+            self._colhot.pop(pid, None)
             if freed:
                 self.machine.release(freed)
                 self.total_bytes -= freed
@@ -459,6 +674,7 @@ class StateStore:
             self._next_generation[pid] = grp.generation + 1
         self._groups.clear()
         self.mutations.clear()
+        self._colhot.clear()
         for heap in self._victim_heaps.values():
             heap.clear()
         self.total_bytes = 0

@@ -447,7 +447,9 @@ def write_run_jsonl(
     meta: dict[str, Any] | None = None,
 ) -> None:
     """Write a self-contained run file: one ``meta`` record, every ledger
-    ``decision``, and every tracked-gauge ``series`` from the registry.
+    ``decision``, every tracked-gauge ``series`` and every histogram
+    (``hist`` records, per-batch efficiency distributions included) from
+    the registry.
 
     All content is simulator-clock data serialised with sorted keys, so
     same-seed runs produce byte-identical files.
@@ -468,6 +470,8 @@ def write_run_jsonl(
                     "values": list(series.values),
                 }
             )
+        for row in registry.histogram_rows():
+            records.append({"kind": "hist", **row})
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))

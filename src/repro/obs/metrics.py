@@ -431,6 +431,37 @@ class MetricsRegistry:
                     out["counters"].append(row)
         return out
 
+    def histogram_rows(self) -> list[dict[str, Any]]:
+        """All histogram children as plain summary rows.
+
+        One row per (family, label set), sorted by name then labels:
+        ``{"name", "labels", "buckets": {upper_edge: count}, "sum",
+        "count"}`` with per-bucket (not cumulative) counts — the shape the
+        run ledger records and the report generator plots.
+        """
+        self.collect()
+        rows: list[dict[str, Any]] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.kind != "histogram":
+                continue
+            for key in sorted(family.children):
+                inst = family.children[key]
+                assert isinstance(inst, Histogram)
+                rows.append({
+                    "name": name,
+                    "labels": dict(key),
+                    "buckets": {
+                        _fmt(edge): count
+                        for edge, count in zip(
+                            [*family.buckets, math.inf], inst.bucket_counts
+                        )
+                    },
+                    "sum": inst.sum,
+                    "count": inst.count,
+                })
+        return rows
+
     def write_prometheus(self, path) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_prometheus())

@@ -49,6 +49,8 @@ class RunData:
     decisions: list[dict[str, Any]] = field(default_factory=list)
     #: series name -> (times, values)
     series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+    #: histogram rows: {"name", "labels", "buckets", "sum", "count"}
+    hists: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -87,6 +89,8 @@ def load_run(path) -> RunData:
                     [float(t) for t in record["times"]],
                     [float(v) for v in record["values"]],
                 )
+            elif kind == "hist":
+                run.hists.append(record)
     return run
 
 
@@ -376,6 +380,40 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
                 lines.append(f"- {_headline(d)}")
             if mine:
                 lines.append("")
+
+    if run.hists:
+        lines.append("## Batch efficiency")
+        lines.append("")
+        lines.append(
+            "Per-batch distributions recorded by the engines (bucket "
+            "upper edges; counts are per bucket)."
+        )
+        lines.append("")
+        for hist in run.hists:
+            labels = hist.get("labels", {})
+            label = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            title = hist["name"] + (f" ({label})" if label else "")
+            count = int(hist.get("count", 0))
+            mean = (float(hist.get("sum", 0.0)) / count) if count else 0.0
+            lines.append(f"### {title}")
+            lines.append("")
+            lines.append(
+                f"{count} observations, mean {_fmt_num(mean)}"
+            )
+            lines.append("")
+            buckets = hist.get("buckets", {})
+            peak = max([int(c) for c in buckets.values()] or [0])
+            lines.append("| ≤ bucket | count | |")
+            lines.append("| --- | --- | --- |")
+            # JSON serialisation sorts keys lexically; restore numeric
+            # edge order (with +Inf last)
+            for edge, n in sorted(buckets.items(), key=lambda kv: float(kv[0])):
+                n = int(n)
+                bar = ""
+                if peak:
+                    bar = _BLOCKS[-1] * round(n / peak * 16)
+                lines.append(f"| {edge} | {n} | {bar} |")
+            lines.append("")
 
     lines.append("## Decision log")
     lines.append("")

@@ -57,12 +57,12 @@ _DEFAULT_READ_BANDWIDTH = 60e6
 
 
 def frozen_idents(frozen: "FrozenPartitionGroup") -> frozenset[TupleIdent]:
-    """The ``(stream, seq)`` identities of every tuple in a snapshot."""
-    idents: set[TupleIdent] = set()
-    for stream in frozen.streams:
-        for tup in frozen.tuples_of(stream):
-            idents.add(tup.ident)
-    return frozenset(idents)
+    """The ``(stream, seq)`` identities of every tuple in a snapshot.
+
+    Delegates to the snapshot's own ``idents()``: columnar snapshots read
+    the identity columns directly without materialising tuples.
+    """
+    return frozen.idents()
 
 
 @dataclass(frozen=True)

@@ -87,3 +87,30 @@ def assert_no_violations(tracer, name):
             f"(trace saved to {path}):\n{lines}"
         )
     return events
+
+
+def canonical_frozen(frozen):
+    """Representation-independent canonical form of a frozen group.
+
+    Row-format and columnar snapshots of the same logical state must
+    compare equal: identity covers the statistics the adaptation rules
+    read plus the full per-stream key histogram and the global tuple
+    identity set — everything observable about a snapshot, nothing about
+    its storage layout.
+    """
+    return (
+        frozen.pid,
+        frozen.generation,
+        frozen.size_bytes,
+        frozen.tuple_count,
+        frozen.output_count,
+        tuple(sorted(
+            (stream, tuple(sorted(frozen.key_counts(stream).items())))
+            for stream in frozen.streams
+        )),
+        frozenset(
+            (tup.stream, tup.seq)
+            for stream in frozen.streams
+            for tup in frozen.tuples_of(stream)
+        ),
+    )

@@ -29,6 +29,7 @@ BASELINE = pathlib.Path(__file__).resolve().parent.parent / (
 def make_doc(**metrics):
     base = {name: 1000.0 for name in HIGHER_IS_BETTER}
     base["join_batch_speedup"] = 1.8
+    base["join_columnar_speedup"] = 1.8
     base.update(metrics)
     return {"schema": SCHEMA, "metrics": base}
 
@@ -77,6 +78,12 @@ class TestGate:
         problems = compare(fresh, baseline, tolerance=0.25, min_speedup=1.2)
         assert any("join_batch_speedup" in p for p in problems)
 
+    def test_columnar_speedup_floor_is_absolute(self):
+        fresh = make_doc(join_columnar_speedup=1.3)
+        problems = compare(fresh, make_doc(), tolerance=0.25, min_speedup=1.2,
+                           min_columnar_speedup=1.5)
+        assert any("join_columnar_speedup" in p for p in problems)
+
     def test_missing_metric_is_not_a_failure(self):
         fresh = make_doc()
         del fresh["metrics"]["cleanup_tuples_per_s"]
@@ -124,3 +131,4 @@ class TestCommittedBaseline:
     def test_baseline_meets_speedup_bar(self):
         doc = json.loads(BASELINE.read_text())
         assert doc["metrics"]["join_batch_speedup"] >= 1.5
+        assert doc["metrics"]["join_columnar_speedup"] >= 1.5
