@@ -54,6 +54,7 @@ from repro.obs import (
     check_ledger_trace,
     check_trace,
 )
+from repro.serving import QueryHandle, QueryServer, QuerySpec, Tenant
 
 __version__ = "1.0.0"
 
@@ -69,12 +70,16 @@ __all__ = [
     "JoinResult",
     "PipelineDeployment",
     "PipelineStage",
+    "QueryHandle",
+    "QueryServer",
+    "QuerySpec",
     "STRATEGIES",
     "Schema",
     "SpillPolicyName",
     "StrategyName",
     "StrategyProfile",
     "StreamTuple",
+    "Tenant",
     "Tracer",
     "__version__",
     "active_disk_config",

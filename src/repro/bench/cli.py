@@ -49,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "micro-batched (default) or columnar "
                              "structure-of-arrays; results are identical, "
                              "only wall-clock cost differs")
+    parser.add_argument("--queries", type=int, default=1,
+                        help="run N identical queries on one multi-tenant "
+                             "QueryServer (one tenant per query) instead of "
+                             "a single standalone deployment")
+    parser.add_argument("--fold", choices=["on", "off"], default="on",
+                        help="with --queries > 1: fold signature-identical "
+                             "queries onto one shared runtime (on, default) "
+                             "or run each in isolation (off)")
     parser.add_argument("--partitions", type=int, default=24)
     parser.add_argument("--join-rate", type=float, default=3.0)
     parser.add_argument("--tuple-range", type=int, default=3000)
@@ -136,6 +144,9 @@ def main(argv: list[str] | None = None) -> int:
         interarrival=args.interarrival_ms / 1000.0,
         seed=args.seed,
     )
+    if args.queries > 1:
+        return _serving_main(args, workload, duration, sample_interval,
+                             tracer, ledger)
     result = run_experiment(
         args.strategy,
         workload,
@@ -242,6 +253,83 @@ def main(argv: list[str] | None = None) -> int:
         path.write_text(json.dumps(numbers, indent=2) + "\n",
                         encoding="utf-8")
         print(f"\n[summary written to {path}]")
+    return 0
+
+
+def _serving_main(args, workload, duration, sample_interval,
+                  tracer, ledger) -> int:
+    """``--queries N`` mode: N identical submissions on one QueryServer."""
+    from repro.bench.harness import run_serving
+
+    serving = run_serving(
+        args.queries,
+        fold=args.fold == "on",
+        workload=workload,
+        strategy=args.strategy,
+        workers=args.workers,
+        duration=duration,
+        sample_interval=sample_interval,
+        memory_threshold=int(args.threshold_kb * 1000),
+        data_path=args.data_path,
+        config_overrides=dict(
+            theta_r=args.theta_r,
+            tau_m=args.tau_m,
+            spill_policy=SpillPolicyName(args.spill_policy),
+        ),
+        seed=args.seed,
+        tracer=tracer,
+        ledger=ledger,
+    )
+    server = serving.server
+
+    if tracer is not None:
+        if args.trace:
+            tracer.write_jsonl(args.trace)
+            print(f"[trace written to {args.trace}]")
+        if args.trace_chrome:
+            tracer.write_chrome(args.trace_chrome)
+            print(f"[chrome trace written to {args.trace_chrome}]")
+    if ledger is not None:
+        from repro.obs.ledger import write_run_jsonl
+
+        write_run_jsonl(
+            args.ledger,
+            ledger=ledger,
+            registry=server.metrics.registry,
+            meta={
+                "mode": "serving",
+                "queries": args.queries,
+                "fold": args.fold,
+                "strategy": args.strategy,
+                "workers": args.workers,
+                "duration_s": duration,
+                "threshold_bytes": int(args.threshold_kb * 1000),
+                "data_path": args.data_path,
+                "seed": args.seed,
+                "tenants": server.tenant_report(),
+            },
+        )
+        print(f"[run file written to {args.ledger}]")
+    if args.metrics:
+        server.metrics.registry.write_prometheus(args.metrics)
+        print(f"[metrics written to {args.metrics}]")
+
+    for handle in serving.handles:
+        line = handle.status
+        if handle.folded:
+            line += f", folded onto {handle.group}"
+        print(f"  {handle.qid} ({handle.tenant}): "
+              f"{handle.total_outputs:,} outputs [{line}]")
+    print()
+    summary = {
+        "queries": args.queries,
+        "fold": args.fold,
+        "queries folded": serving.folded,
+        "run-time outputs": f"{serving.total_outputs:,}",
+        "fold state saved (B)": f"{serving.fold_state_bytes_saved:,}",
+        "cluster-GC orders": server.cluster_gc.stats.orders,
+    }
+    print(kv_block("serving summary", summary))
     return 0
 
 

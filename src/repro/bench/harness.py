@@ -132,6 +132,104 @@ def run_experiment(
     return result
 
 
+@dataclass
+class ServingResult:
+    """Outcome of one multi-tenant serving scenario run."""
+
+    server: "object"
+    handles: list = field(default_factory=list)
+
+    @property
+    def total_outputs(self) -> int:
+        return sum(h.total_outputs for h in self.handles)
+
+    @property
+    def folded(self) -> int:
+        return sum(1 for h in self.handles if h.folded)
+
+    @property
+    def fold_state_bytes_saved(self) -> int:
+        return self.server.max_fold_state_bytes_saved
+
+
+def run_serving(
+    n_queries: int,
+    *,
+    fold: bool = True,
+    workload: WorkloadSpec | None = None,
+    strategy: StrategyName | str = StrategyName.LAZY_DISK,
+    workers: int = 2,
+    duration: float = 120.0,
+    sample_interval: float = 10.0,
+    memory_threshold: int = 200_000,
+    data_path: str = "batched",
+    config_overrides: dict | None = None,
+    seed: int = 11,
+    tenants=None,
+    cluster_capacity: int | None = None,
+    tail: float = 30.0,
+    tracer=None,
+    ledger=None,
+) -> ServingResult:
+    """Run ``n_queries`` identical submissions on one :class:`QueryServer`.
+
+    The single entry point for multi-tenant scenarios (CLI ``--queries``,
+    the folding regress benchmark, the examples): by default each query
+    belongs to its own tenant ``t1..tN`` with a budget of four nominal
+    demands, and the cluster holds twice the aggregate demand, so every
+    submission admits whether folding is on or off — the interesting
+    difference is *where* the state lives, which
+    ``ServingResult.fold_state_bytes_saved`` reports.
+    """
+    from repro.serving import QueryServer, QuerySpec, Tenant
+    from repro.workloads.queries import three_way_join as make_join
+
+    overrides = dict(
+        memory_threshold=memory_threshold,
+        ss_interval=5.0,
+        stats_interval=5.0,
+        coordinator_interval=10.0,
+    )
+    if config_overrides:
+        overrides.update(config_overrides)
+    config = AdaptationConfig(strategy=StrategyName(strategy), **overrides)
+    if workload is None:
+        workload = WorkloadSpec.uniform(
+            n_partitions=24, join_rate=3.0, tuple_range=3000,
+            interarrival=0.03, seed=seed,
+        )
+    demand = memory_threshold * workers
+    if tenants is None:
+        tenants = [
+            Tenant(f"t{i + 1}", memory_budget=demand * 4)
+            for i in range(n_queries)
+        ]
+    if cluster_capacity is None:
+        cluster_capacity = demand * n_queries * 2
+    server = QueryServer(
+        tenants,
+        cluster_capacity=cluster_capacity,
+        fold_enabled=fold,
+        tracer=tracer,
+        ledger=ledger,
+    )
+    handles = []
+    for i in range(n_queries):
+        handles.append(server.submit(QuerySpec(
+            join=make_join(),
+            workload=workload,
+            config=config,
+            workers=workers,
+            tenant=tenants[i % len(tenants)].name,
+            duration=duration,
+            data_path=data_path,
+            seed=seed,
+        )))
+    server.run_for(duration + tail, sample_interval=sample_interval)
+    server.finish()
+    return ServingResult(server=server, handles=handles)
+
+
 def sample_times(duration: float, sample_interval: float) -> list[float]:
     """The instants a run of the given dimensions was sampled at."""
     times = []

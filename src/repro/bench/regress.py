@@ -19,6 +19,11 @@ perf trajectory the ROADMAP asks for.  Five hot paths are timed:
   vs columnar state, isolating the zero-copy snapshot win
   (``serialize_columnar_speedup``).
 
+One further metric is not a wall-clock rate: ``fold_state_bytes_saved``
+is the peak state the serving layer's join folding avoids duplicating in
+a deterministic 4-query shared-stream scenario, pinned by the gate like
+the speedup floors so folding cannot quietly stop sharing state.
+
 Results go to ``benchmarks/results/BENCH_perf.json``; ``--check`` compares
 a fresh run against the committed baseline and fails the process when any
 throughput regressed by more than the tolerance (default 25%, matching the
@@ -65,7 +70,14 @@ HIGHER_IS_BETTER = (
     "relocation_bytes_per_s",
     "serialize_row_bytes_per_s",
     "serialize_columnar_bytes_per_s",
+    "fold_state_bytes_saved",
 )
+
+
+def _unit(name: str) -> str:
+    """Display/unit suffix for a HIGHER_IS_BETTER metric (most are
+    throughputs; the folding metric is simulated bytes saved)."""
+    return "/s" if name.endswith("_per_s") else " B"
 
 
 # ----------------------------------------------------------------------
@@ -311,6 +323,33 @@ def bench_serialize(n_tuples: int, batch_size: int, repeats: int) -> dict:
     }
 
 
+def bench_folding() -> dict:
+    """Peak state bytes join folding avoids duplicating in a 4-query
+    shared-stream serving scenario (all four submissions carry the same
+    fold signature, so three of them share the first one's runtime).
+
+    Unlike the wall-clock benchmarks this is *simulated* data — fully
+    deterministic for a fixed seed — so the regress gate pins it the same
+    way it pins the columnar speedup floors: a drop means folding stopped
+    sharing state, not that the machine was slow.
+    """
+    from repro.bench.harness import run_serving
+
+    serving = run_serving(
+        4, fold=True, workers=2, duration=40.0, memory_threshold=100_000,
+        sample_interval=5.0, tail=10.0, seed=11,
+    )
+    if serving.folded != 3:
+        raise AssertionError(
+            f"expected 3 of 4 identical queries to fold, got "
+            f"{serving.folded}"
+        )
+    return {
+        "fold_state_bytes_saved": float(serving.fold_state_bytes_saved),
+        "fold_queries": 4,
+    }
+
+
 def run_benchmarks(
     *, tuples: int = 60_000, batch_size: int = 50, repeats: int = 3
 ) -> dict:
@@ -326,6 +365,7 @@ def run_benchmarks(
     metrics.update(bench_cleanup(tuples // 10, batch_size, repeats))
     metrics.update(bench_relocation(tuples // 2, batch_size, repeats))
     metrics.update(bench_serialize(tuples // 2, batch_size, repeats))
+    metrics.update(bench_folding())
     return {
         "schema": SCHEMA,
         "params": {
@@ -361,9 +401,10 @@ def compare(fresh: dict, baseline: dict, *, tolerance: float,
             continue
         floor = base * (1.0 - tolerance)
         if new < floor:
+            unit = _unit(name)
             problems.append(
-                f"{name}: {new:,.0f}/s is {1 - new / base:.0%} below the "
-                f"baseline {base:,.0f}/s (tolerance {tolerance:.0%})"
+                f"{name}: {new:,.0f}{unit} is {1 - new / base:.0%} below "
+                f"the baseline {base:,.0f}{unit} (tolerance {tolerance:.0%})"
             )
     for metric, required in (("join_batch_speedup", min_speedup),
                              ("join_columnar_speedup", min_columnar_speedup)):
@@ -422,7 +463,7 @@ def main(argv: list[str] | None = None) -> int:
     metrics = document["metrics"]
     print("wall-clock regression benchmarks")
     for name in HIGHER_IS_BETTER:
-        print(f"  {name:<30} {metrics[name]:>14,.0f}/s")
+        print(f"  {name:<30} {metrics[name]:>14,.0f}{_unit(name)}")
     for name in ("join_batch_speedup", "join_columnar_speedup",
                  "serialize_columnar_speedup"):
         print(f"  {name:<30} {metrics[name]:>13.2f}x")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.cluster.metrics import TimeSeries
+from repro.obs.metrics import TimeSeries
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:

@@ -5,9 +5,10 @@ connected by gigabit Ethernet.  This package provides the equivalent
 *deterministic discrete-event* substrate: an event-driven simulator
 (:mod:`repro.cluster.simulation`), machines with byte-accurate memory
 accounting and FIFO CPU service (:mod:`repro.cluster.machine`), disks with a
-bandwidth/seek cost model (:mod:`repro.cluster.disk`), a network fabric with
-latency and per-link bandwidth (:mod:`repro.cluster.network`), and time-series
-metric recorders (:mod:`repro.cluster.metrics`).
+bandwidth/seek cost model (:mod:`repro.cluster.disk`), and a network fabric
+with latency and per-link bandwidth (:mod:`repro.cluster.network`).
+Observability (metrics, event logs, tracing, the decision ledger) lives in
+:mod:`repro.obs`.
 
 All durations are in (simulated) seconds and all sizes in bytes.
 """
@@ -20,28 +21,23 @@ from repro.cluster.faults import (
     NetworkDegradation,
 )
 from repro.cluster.machine import DynamicTask, Machine, MemoryOverflowError, Task
-from repro.cluster.metrics import AdaptationEvent, EventLog, MetricsHub, TimeSeries
 from repro.cluster.network import Message, Network
 from repro.cluster.simulation import Event, Simulator, Timer
 
 __all__ = [
-    "AdaptationEvent",
     "CpuSlowdown",
     "Disk",
     "DiskStats",
     "DynamicTask",
     "Event",
-    "EventLog",
     "Fault",
     "FaultSchedule",
     "Machine",
     "MemoryOverflowError",
     "Message",
-    "MetricsHub",
     "Network",
     "NetworkDegradation",
     "Simulator",
     "SpillSegment",
     "Task",
-    "TimeSeries",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster.metrics import MetricsHub
+from repro.obs.hub import ObsHub
 from repro.cluster.network import Message, Network
 from repro.cluster.simulation import Simulator, Timer
 from repro.core.config import AdaptationConfig, CostModel
@@ -86,7 +86,7 @@ class GlobalCoordinator:
         self,
         sim: Simulator,
         network: Network,
-        metrics: MetricsHub,
+        metrics: ObsHub,
         config: AdaptationConfig,
         cost: CostModel,
         workers: list[str],

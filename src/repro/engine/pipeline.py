@@ -33,7 +33,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.cluster.disk import Disk
 from repro.cluster.machine import Machine
-from repro.cluster.metrics import MetricsHub
+from repro.obs.hub import ObsHub
 from repro.cluster.network import Network
 from repro.cluster.simulation import Simulator
 from repro.core.cleanup import merge_missing_count, merge_missing_results
@@ -218,7 +218,7 @@ class PipelineDeployment:
         self.profile = profile_of(config)
 
         self.sim = Simulator()
-        self.metrics = MetricsHub()
+        self.metrics = ObsHub()
         self.metrics.registry.bind_clock(lambda: self.sim.now)
         if tracer is not None:
             self.metrics.tracer = tracer
@@ -402,11 +402,11 @@ class PipelineDeployment:
 
     def _sample(self) -> None:
         now = self.sim.now
-        self.metrics.sample(now, "outputs", self.collector.total)
+        self.metrics.registry.sample(now, "outputs", self.collector.total)
         for stage in self.stages:
             for worker in stage.workers:
                 store = self.instances[stage.name][worker].store
-                self.metrics.sample(now, f"memory:{worker}", store.total_bytes)
+                self.metrics.registry.sample(now, f"memory:{worker}", store.total_bytes)
 
     @property
     def total_outputs(self) -> int:

@@ -32,9 +32,9 @@ from typing import Sequence
 
 from repro.cluster.disk import Disk
 from repro.cluster.machine import Machine
-from repro.cluster.metrics import MetricsHub
 from repro.cluster.network import Network
 from repro.cluster.simulation import Simulator
+from repro.obs.hub import ObsHub
 from repro.core.cleanup import CleanupExecutor, CleanupReport
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.coordinator import GC_NAME, GlobalCoordinator
@@ -110,6 +110,32 @@ class Deployment:
         A :class:`~repro.obs.ledger.DecisionLedger` recording every
         adaptation decision with its rule inputs (``None`` = disabled,
         zero overhead).
+    sim / network / metrics:
+        Injected substrate for multi-query serving (:mod:`repro.serving`):
+        several deployments can share one simulator, network fabric and
+        :class:`~repro.obs.hub.ObsHub`.  When omitted the deployment
+        builds private ones (the classic standalone mode).  When
+        ``metrics`` is injected the ``tracer``/``ledger`` arguments must
+        be left unset — the owner of the shared hub configures those.
+    namespace:
+        Name prefix (e.g. ``"g1:"``) applied to every machine, network
+        endpoint, coordinator and sampled series of this deployment so
+        that many deployments coexist on one network/registry without
+        collisions.  Empty (default) for standalone runs.
+    collector:
+        Injected output sink (e.g. the serving layer's fan-out collector
+        that routes one folded runtime's results to several queries).
+        Must honour the :class:`~repro.engine.streams.OutputCollector`
+        interface.
+    coordinator_factory:
+        Callable with the :class:`~repro.core.coordinator.GlobalCoordinator`
+        signature used to build the per-deployment coordinator — the
+        serving layer passes an arbitrated subclass so concurrent
+        relocations across deployments are serialised.
+    metric_labels:
+        Extra label dimensions (e.g. ``{"tenant": ..., "query": ...}``)
+        merged into every metric family this deployment's components
+        publish.
     """
 
     def __init__(
@@ -134,6 +160,13 @@ class Deployment:
         seed: int = 11,
         tracer=None,
         ledger=None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+        metrics: ObsHub | None = None,
+        namespace: str = "",
+        collector=None,
+        coordinator_factory=None,
+        metric_labels: dict[str, str] | None = None,
     ) -> None:
         if data_path is None:
             data_path = "batched" if batched_data_path else "tuple"
@@ -156,6 +189,13 @@ class Deployment:
         clash = reserved & set(workers)
         if clash:
             raise ValueError(f"worker names {sorted(clash)!r} are reserved")
+        # Serving mode: everything this deployment registers on the shared
+        # network / samples into the shared registry is namespace-prefixed,
+        # so concurrent deployments stay fully disjoint.
+        self.namespace = namespace
+        workers = [namespace + w for w in workers]
+        self.source_name = namespace + SOURCE_NAME
+        self.coordinator_name = namespace + GC_NAME
 
         self.join = join
         self.workload = workload
@@ -164,18 +204,26 @@ class Deployment:
         self.cost = cost or CostModel()
         self.profile = profile_of(config)
         self.batch_size = batch_size
+        self.metric_labels = dict(metric_labels or {})
 
-        self.sim = Simulator()
-        self.metrics = MetricsHub()
-        self.metrics.registry.bind_clock(lambda: self.sim.now)
-        if tracer is not None:
-            self.metrics.tracer = tracer
-            tracer.bind_clock(lambda: self.sim.now)
-            trace_strategy(tracer, config)
-        if ledger is not None:
-            self.metrics.ledger = ledger
-            ledger.bind_clock(lambda: self.sim.now)
-        self.network = Network(
+        if metrics is not None and (tracer is not None or ledger is not None):
+            raise ValueError(
+                "tracer/ledger must be configured on the injected ObsHub, "
+                "not passed alongside it"
+            )
+        self.sim = sim if sim is not None else Simulator()
+        owns_hub = metrics is None
+        self.metrics = metrics if metrics is not None else ObsHub()
+        if owns_hub:
+            self.metrics.registry.bind_clock(lambda: self.sim.now)
+            if tracer is not None:
+                self.metrics.tracer = tracer
+                tracer.bind_clock(lambda: self.sim.now)
+                trace_strategy(tracer, config)
+            if ledger is not None:
+                self.metrics.ledger = ledger
+                ledger.bind_clock(lambda: self.sim.now)
+        self.network = network if network is not None else Network(
             self.sim,
             latency=self.cost.network_latency,
             bandwidth=self.cost.network_bandwidth,
@@ -195,7 +243,7 @@ class Deployment:
             )
             for name in workers
         }
-        self.source_machine = Machine(self.sim, SOURCE_NAME)
+        self.source_machine = Machine(self.sim, self.source_name)
 
         # --- initial partition placement -------------------------------
         n = workload.n_partitions
@@ -204,6 +252,9 @@ class Deployment:
         elif isinstance(assignment, PartitionMap):
             base_map = assignment
         else:
+            # callers name workers without the serving namespace prefix
+            assignment = {namespace + w: weight
+                          for w, weight in assignment.items()}
             unknown = set(assignment) - set(workers)
             if unknown:
                 raise ValueError(f"assignment names unknown workers {sorted(unknown)!r}")
@@ -230,8 +281,11 @@ class Deployment:
         }
 
         # --- sinks ------------------------------------------------------
-        materialize = bool(collect_results or downstream)
-        self.collector = OutputCollector(downstream, collect=collect_results)
+        materialize = bool(collect_results or downstream or collector is not None)
+        if collector is not None:
+            self.collector = collector
+        else:
+            self.collector = OutputCollector(downstream, collect=collect_results)
 
         # --- application server (optional result shipping) ---------------
         self.app_server = None
@@ -239,11 +293,11 @@ class Deployment:
         if ship_results:
             from repro.engine.app_server import APP_SERVER_NAME, AppServer
 
-            app_machine = Machine(self.sim, APP_SERVER_NAME)
+            app_machine = Machine(self.sim, namespace + APP_SERVER_NAME)
             self.app_server = AppServer(
                 self.sim, self.network, app_machine, self.collector, self.cost
             )
-            app_name = APP_SERVER_NAME
+            app_name = app_machine.name
 
         # --- engines ------------------------------------------------------
         self.engines: dict[str, QueryEngine] = {
@@ -261,6 +315,8 @@ class Deployment:
                 app_server=app_name,
                 data_path=data_path,
                 seed=seed + i,
+                coordinator_name=self.coordinator_name,
+                metric_labels=metric_labels,
             )
             for i, name in enumerate(workers)
         }
@@ -271,19 +327,23 @@ class Deployment:
             self.splits,
             self.cost,
             self.metrics,
+            coordinator_name=self.coordinator_name,
             record_inputs=record_inputs,
             transforms=input_transforms,
             keep_replay_log=config.checkpoint_enabled,
             data_path=data_path,
+            metric_labels=metric_labels,
         )
-        self.coordinator = GlobalCoordinator(
+        make_coordinator = coordinator_factory or GlobalCoordinator
+        self.coordinator = make_coordinator(
             self.sim,
             self.network,
             self.metrics,
             config,
             self.cost,
             workers=workers,
-            split_hosts=[SOURCE_NAME],
+            split_hosts=[self.source_name],
+            name=self.coordinator_name,
         )
 
         # --- crash-fault tolerance (repro.recovery, opt-in) ---------------
@@ -311,7 +371,7 @@ class Deployment:
                         config,
                         self.cost,
                         self.metrics,
-                        source_name=SOURCE_NAME,
+                        source_name=self.source_name,
                         peer=peer,
                         on_flush=engine.flush_outputs,
                     )
@@ -324,7 +384,7 @@ class Deployment:
                 config,
                 self.cost,
                 workers=workers,
-                split_hosts=[SOURCE_NAME],
+                split_hosts=[self.source_name],
                 name=self.coordinator.name,
             )
             self.coordinator.attach_recovery(self.recovery)
@@ -350,7 +410,8 @@ class Deployment:
     def _publish_metrics(self, registry) -> None:
         """Pull-collector: gather every component's counters on exposition."""
         registry.counter(
-            "repro_outputs_total", help="Join results collected"
+            "repro_outputs_total", help="Join results collected",
+            labels=self.metric_labels or None,
         ).set_total(self.collector.total)
         self.network.publish_metrics(registry)
         self.coordinator.publish_metrics(registry)
@@ -358,9 +419,9 @@ class Deployment:
         for engine in self.engines.values():
             engine.publish_metrics(registry)
         if self.registry is not None:
-            self.registry.publish_metrics(registry)
+            self.registry.publish_metrics(registry, self.metric_labels or None)
         if self.recovery is not None:
-            self.recovery.publish_metrics(registry)
+            self.recovery.publish_metrics(registry, self.metric_labels or None)
 
     # ------------------------------------------------------------------
     # Execution
@@ -378,9 +439,35 @@ class Deployment:
             raise ValueError("duration must be positive")
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
+        self.launch(duration)
+        t = self.sim.now
+        end = t + duration
+        while t < end:
+            t = min(t + sample_interval, end)
+            self.sim.run(until=t)
+            self.sample()
+        # quiesce: stop control loops, drain data and protocol traffic
+        self.stop_components()
+        if drain:
+            self.sim.run()
+            if self.config.checkpoint_enabled:
+                self.flush_outputs()
+                self.sim.run()  # drain any shipped result batches
+            self.sample()  # final quiesced observation (post-drain tail)
+        self._finished = True
+
+    # -- serving-layer building blocks ---------------------------------
+    # ``run`` is the standalone driver; the multi-query server owns the
+    # shared simulator and instead composes these pieces itself.
+    def launch(self, duration: float) -> None:
+        """Start every component and arm the sources to stop after
+        ``duration`` seconds of generated input, without advancing the
+        simulator (the caller drives it)."""
         if self._finished:
             raise RuntimeError("deployment already ran; build a fresh one")
         self.run_duration = duration
+        # stop_at is in generator-relative time; StreamSource offsets it by
+        # its start instant, so mid-run launches behave like t=0 launches.
         for source in self.sources:
             source.stop_at = duration
         if not self._started:
@@ -390,38 +477,34 @@ class Deployment:
             self.coordinator.start()
             for source in self.sources:
                 source.start()
-        self._sample()
-        t = 0.0
-        while t < duration:
-            t = min(t + sample_interval, duration)
-            self.sim.run(until=t)
-            self._sample()
-        # quiesce: stop control loops, drain data and protocol traffic
+        self.sample()
+
+    def stop_components(self) -> None:
+        """Stop the control loops and sources (idempotent).  In-flight
+        traffic keeps draining when the simulator next runs."""
         for engine in self.engines.values():
             engine.stop()
         self.coordinator.stop()
         for source in self.sources:
             source.stop()
-        if drain:
-            self.sim.run()
-            if self.config.checkpoint_enabled:
-                # Release outputs still buffered behind the last checkpoint:
-                # end-of-run is a clean shutdown, not a crash, so everything
-                # produced is safe to emit.
-                for engine in self.engines.values():
-                    engine.flush_outputs()
-                self.sim.run()  # drain any shipped result batches
-            self._sample()  # final quiesced observation (post-drain tail)
-        self._finished = True
 
-    def _sample(self) -> None:
+    def flush_outputs(self) -> None:
+        """Release outputs still buffered behind the last checkpoint: a
+        clean shutdown is not a crash, so everything produced is safe to
+        emit."""
+        for engine in self.engines.values():
+            engine.flush_outputs()
+
+    def sample(self) -> None:
         now = self.sim.now
-        self.metrics.sample(now, "outputs", self.collector.total)
+        registry = self.metrics.registry
+        ns = self.namespace
+        registry.sample(now, f"{ns}outputs", self.collector.total)
         for name in self.worker_names:
             store = self.instances[name].store
-            self.metrics.sample(now, f"memory:{name}", store.total_bytes)
-            self.metrics.sample(now, f"queue:{name}", self.machines[name].queue_depth)
-            self.metrics.sample(now, f"disk:{name}", self.disks[name].resident_bytes)
+            registry.sample(now, f"memory:{name}", store.total_bytes)
+            registry.sample(now, f"queue:{name}", self.machines[name].queue_depth)
+            registry.sample(now, f"disk:{name}", self.disks[name].resident_bytes)
 
     # ------------------------------------------------------------------
     # Cleanup phase
@@ -480,11 +563,13 @@ class Deployment:
 
     def output_series(self):
         """Cumulative-output time series (the paper's throughput curves)."""
-        return self.metrics.series("outputs")
+        return self.metrics.registry.timeseries(f"{self.namespace}outputs")
 
     def memory_series(self, machine: str):
         """One worker's state-volume time series (Figures 6 and 10)."""
-        return self.metrics.series(f"memory:{machine}")
+        if not machine.startswith(self.namespace):
+            machine = self.namespace + machine
+        return self.metrics.registry.timeseries(f"memory:{machine}")
 
     def total_state_bytes(self) -> int:
         return sum(inst.store.total_bytes for inst in self.instances.values())

@@ -26,8 +26,8 @@ from typing import TYPE_CHECKING
 
 from repro.cluster.disk import Disk
 from repro.cluster.machine import PRIORITY_CONTROL, DynamicTask, Machine
-from repro.cluster.metrics import MetricsHub
 from repro.cluster.network import Message, Network
+from repro.obs.hub import ObsHub
 from repro.cluster.simulation import Simulator, Timer
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.coordinator import GC_NAME
@@ -84,7 +84,7 @@ class QueryEngine:
         instance: MJoinInstance,
         config: AdaptationConfig,
         cost: CostModel,
-        metrics: MetricsHub,
+        metrics: ObsHub,
         collector: OutputCollector,
         *,
         coordinator_name: str = GC_NAME,
@@ -93,6 +93,7 @@ class QueryEngine:
         batched: bool = True,
         data_path: str | None = None,
         seed: int = 11,
+        metric_labels: dict[str, str] | None = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -147,11 +148,19 @@ class QueryEngine:
         self.checkpointer: "CheckpointManager | None" = None
         self._output_buffer: list = []
         self._output_buffer_count = 0
+        #: the machine that ordered the in-flight forced spill (a per-query
+        #: coordinator or the serving layer's cross-query GC); ``ss_done``
+        #: goes back to whoever asked
+        self._forced_spill_reply_to: str | None = None
+        #: extra label dimensions (e.g. ``tenant`` / ``query`` under
+        #: multi-tenant serving) merged into every metric family this
+        #: engine publishes
+        self.metric_labels = dict(metric_labels or {})
         # Per-batch efficiency histograms (satellite of the columnar PR):
         # created once so the data path pays one method call per batch.
         # Observations use simulated time/durations only — wall clock never
         # leaks in, keeping same-seed run files byte-identical.
-        labels = {"machine": machine.name}
+        labels = {"machine": machine.name, **self.metric_labels}
         registry = metrics.registry
         self._h_batch_tuples = registry.histogram(
             "repro_batch_tuples",
@@ -226,6 +235,7 @@ class QueryEngine:
         self._pending_cptv = None
         self._pending_transfer = None
         self._active_transfer = None
+        self._forced_spill_reply_to = None
         self._markers_seen.clear()
         self.mode = MODE_NORMAL
         self.metrics.events.record(
@@ -443,7 +453,7 @@ class QueryEngine:
                 )
             self.mode = MODE_NORMAL
             if forced:
-                self._send_gc("ss_done", ForcedSpillDone(self.name, 0))
+                self._send_ss_done(0)
             self._resume_pending_cptv()
 
     def _spill_done(self, outcome: SpillOutcome) -> None:
@@ -457,9 +467,7 @@ class QueryEngine:
             duration=outcome.duration,
         )
         if outcome.forced:
-            self._send_gc(
-                "ss_done", ForcedSpillDone(self.name, outcome.bytes_spilled)
-            )
+            self._send_ss_done(outcome.bytes_spilled)
         if self.checkpointer is not None and outcome.bytes_spilled:
             # The disk segment is now the durable copy of the evicted
             # groups: commit so the registry drops their stale snapshots
@@ -472,6 +480,10 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _on_start_ss(self, message: Message) -> None:
         request: ForcedSpillRequest = message.payload
+        # The order may come from this query's coordinator or from the
+        # serving layer's cross-query GC: the completion ack goes back to
+        # whoever sent the request.
+        self._forced_spill_reply_to = message.src
         if self.mode != MODE_NORMAL:
             if self.metrics.ledger.enabled:
                 self.metrics.ledger.realize(
@@ -480,10 +492,19 @@ class QueryEngine:
                     reason="engine_busy",
                     mode=self.mode,
                 )
-            self._send_gc("ss_done", ForcedSpillDone(self.name, 0))
+            self._send_ss_done(0)
             return
         self._start_spill(
             amount=request.amount, forced=True, ledger_entry=request.ledger_entry
+        )
+
+    def _send_ss_done(self, bytes_spilled: int) -> None:
+        target = self._forced_spill_reply_to or self.coordinator_name
+        self._forced_spill_reply_to = None
+        self.network.send(
+            self.name, target, "ss_done",
+            ForcedSpillDone(self.name, bytes_spilled),
+            self.cost.control_message_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -766,7 +787,7 @@ class QueryEngine:
     def publish_metrics(self, registry) -> None:
         """Pull-collector: this engine's store, disk, spill and checkpoint
         counters, labeled by machine."""
-        labels = {"machine": self.name}
+        labels = {"machine": self.name, **self.metric_labels}
         store = self.instance.store
         registry.gauge(
             "repro_state_bytes", help="Resident join state", labels=labels,
@@ -836,13 +857,14 @@ class SourceHost:
         machine: Machine,
         splits: dict[str, Split],
         cost: CostModel,
-        metrics: MetricsHub,
+        metrics: ObsHub,
         *,
         coordinator_name: str = GC_NAME,
         record_inputs: bool = False,
         transforms: dict[str, list] | None = None,
         keep_replay_log: bool = False,
         data_path: str = "batched",
+        metric_labels: dict[str, str] | None = None,
     ) -> None:
         if not splits:
             raise ValueError("source host needs at least one split")
@@ -860,6 +882,7 @@ class SourceHost:
         self.splits = splits
         self.cost = cost
         self.metrics = metrics
+        self.metric_labels = dict(metric_labels or {})
         self.coordinator_name = coordinator_name
         self.record_inputs = record_inputs
         #: ``columnar`` forwards routed batches as structure-of-arrays
@@ -1113,7 +1136,7 @@ class SourceHost:
         Labelled by host machine so pipelines (one split host per stage)
         can publish into one registry without colliding.
         """
-        labels = {"host": self.machine.name}
+        labels = {"host": self.machine.name, **self.metric_labels}
         registry.counter(
             "repro_source_tuples_routed_total",
             help="Tuples routed through the splits",

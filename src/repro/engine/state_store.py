@@ -149,6 +149,12 @@ class StateStore:
         self.total_bytes = 0
         self.outputs_total = 0
         self.tuples_processed = 0
+        #: Number of logical queries served by this store's state.  1 for a
+        #: standalone deployment; the serving layer's join folding bumps it
+        #: per member attached to the shared runtime, so state-sharing
+        #: savings (``bytes × (sharers - 1)``) can be accounted at the
+        #: engine layer where the bytes actually live.
+        self.sharers = 1
         #: Per-partition mutation counters.  The checkpoint subsystem's
         #: incremental mode snapshots only groups whose counter moved since
         #: their last snapshot; counters vanish with their group on evict or
@@ -185,6 +191,16 @@ class StateStore:
         #: the table) or retires the group (evict, install, crash)
         #: invalidates the entry.  Only populated on columnar stores.
         self._colhot: dict[int, tuple] = {}
+
+    def attach_sharer(self) -> None:
+        """One more query now reads this store's state (join folding)."""
+        self.sharers += 1
+
+    def detach_sharer(self) -> None:
+        """A folded query retired; state keeps serving the remaining ones."""
+        if self.sharers <= 1:
+            raise ValueError("store has no folded sharers to detach")
+        self.sharers -= 1
 
     def _touch(self, pid: int, count: int = 1) -> None:
         """Record ``count`` mutations of one live group.

@@ -95,6 +95,11 @@ class StreamSource:
         self.tuples_sent = 0
         self._iterator: Iterator[tuple[float, StreamTuple]] | None = None
         self._stopped = False
+        #: simulator time at :meth:`start`; generator arrival times (and
+        #: ``stop_at``) are relative to it, so a query admitted mid-run by
+        #: the serving layer replays the exact arrival pattern a t=0
+        #: launch would see, just shifted.
+        self._t0 = 0.0
 
     @property
     def stream(self) -> str:
@@ -104,6 +109,7 @@ class StreamSource:
         """Begin generating arrivals (idempotent)."""
         if self._iterator is not None:
             return
+        self._t0 = self.sim.now
         self._iterator = self.generator.arrivals()
         self._schedule_next_batch()
 
@@ -125,7 +131,7 @@ class StreamSource:
             last_time = time
         if not batch or last_time is None:
             return
-        self.sim.schedule_at(last_time, self._deliver, batch)
+        self.sim.schedule_at(self._t0 + last_time, self._deliver, batch)
 
     def _deliver(self, batch: list[StreamTuple]) -> None:
         self.tuples_sent += len(batch)

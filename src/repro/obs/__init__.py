@@ -1,5 +1,7 @@
 """Observability layer: tracing, decision ledger, metrics and reports."""
 
+from repro.obs.events import AdaptationEvent, EventLog
+from repro.obs.hub import ObsHub
 from repro.obs.invariants import InvariantChecker, Violation, check_trace
 from repro.obs.ledger import (
     NULL_LEDGER,
@@ -15,9 +17,12 @@ from repro.obs.metrics import MetricsRegistry, Sample, TimeSeries
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, load_jsonl
 
 __all__ = [
+    "AdaptationEvent",
     "DecisionLedger",
+    "EventLog",
     "InvariantChecker",
     "MetricsRegistry",
+    "ObsHub",
     "NULL_LEDGER",
     "NULL_TRACER",
     "NullLedger",

@@ -1,0 +1,62 @@
+"""Adaptation-event log: the discrete occurrences behind every figure.
+
+Every "zag" in the paper's memory figures is one :class:`AdaptationEvent`
+(a spill, a relocation step, a checkpoint, a crash...).  The
+:class:`EventLog` is append-only and supports an observer callback, which
+:class:`~repro.obs.hub.ObsHub` uses to mirror each event into the unified
+:class:`~repro.obs.metrics.MetricsRegistry` counter/histogram families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["AdaptationEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One discrete adaptation occurrence (a spill or a relocation step).
+
+    ``kind`` is one of ``"spill"``, ``"forced_spill"``, ``"relocation"``,
+    ``"cleanup"``.  ``details`` carries kind-specific fields such as
+    ``bytes``, ``partition_ids``, ``sender``, ``receiver``.
+    """
+
+    time: float
+    kind: str
+    machine: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only log of :class:`AdaptationEvent` records.
+
+    An optional ``observer`` callback sees every recorded event; the hub
+    uses it to mirror events into the metrics registry.
+    """
+
+    def __init__(self, observer: Callable[[AdaptationEvent], None] | None = None) -> None:
+        self._events: list[AdaptationEvent] = []
+        self._observer = observer
+
+    def record(self, time: float, kind: str, machine: str, **details: Any) -> AdaptationEvent:
+        event = AdaptationEvent(time=time, kind=kind, machine=machine, details=details)
+        self._events.append(event)
+        if self._observer is not None:
+            self._observer(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AdaptationEvent]:
+        return iter(self._events)
+
+    def of_kind(self, *kinds: str) -> list[AdaptationEvent]:
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)

@@ -1,0 +1,67 @@
+"""ObsHub: one deployment's observability bundle.
+
+A deployment (or a shared multi-query server) owns exactly one hub; every
+component holding it can reach the four observability facilities without
+extra plumbing:
+
+* ``registry`` — the unified :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters / gauges / histograms / tracked time series);
+* ``events`` — the :class:`~repro.obs.events.EventLog` of discrete
+  adaptation occurrences, each mirrored into the
+  ``repro_adaptation_events_total`` counter family plus byte/duration
+  histograms;
+* ``tracer`` — the structured protocol :class:`~repro.obs.trace.Tracer`
+  (the shared no-op :data:`~repro.obs.trace.NULL_TRACER` unless a run
+  opts in);
+* ``ledger`` — the :class:`~repro.obs.ledger.DecisionLedger`
+  (:data:`~repro.obs.ledger.NULL_LEDGER` unless a run opts in).
+
+The hub replaces the old ``repro.cluster.metrics.MetricsHub`` shim.  The
+shim's re-plumbing methods (``series`` / ``has_series`` / ``series_names``
+/ ``sample`` / ``bump`` / ``counters``) are gone: callers talk to
+``hub.registry`` directly.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import AdaptationEvent, EventLog
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ObsHub"]
+
+
+class ObsHub:
+    """Registry + event log + tracer + ledger of one deployment."""
+
+    def __init__(self) -> None:
+        from repro.obs.ledger import NULL_LEDGER
+        from repro.obs.trace import NULL_TRACER
+
+        self.registry = MetricsRegistry()
+        self.events = EventLog(observer=self._observe_event)
+        self.tracer = NULL_TRACER
+        self.ledger = NULL_LEDGER
+
+    def _observe_event(self, event: AdaptationEvent) -> None:
+        """Mirror an adaptation event into the registry (counter + size /
+        duration histograms, stamped with the event's simulator time)."""
+        self.registry.counter(
+            "repro_adaptation_events_total",
+            help="Adaptation events by kind",
+            labels={"kind": event.kind},
+        ).inc(ts=event.time)
+        size = event.details.get("bytes")
+        if isinstance(size, (int, float)):
+            self.registry.histogram(
+                "repro_adaptation_bytes",
+                help="Bytes moved or spilled per adaptation event",
+                labels={"kind": event.kind},
+            ).observe(float(size), ts=event.time)
+        duration = event.details.get("duration")
+        if isinstance(duration, (int, float)):
+            self.registry.histogram(
+                "repro_adaptation_duration_seconds",
+                help="Simulated duration per adaptation event",
+                buckets=(0.001, 0.01, 0.1, 1.0, 10.0, 100.0),
+                labels={"kind": event.kind},
+            ).observe(float(duration), ts=event.time)

@@ -52,14 +52,21 @@ __all__ = [
 #: ledger entry kinds
 KIND_GC_TICK = "gc_tick"
 KIND_OVERFLOW_CHECK = "overflow_check"
+KIND_CLUSTER_GC = "cluster_gc"
+KIND_ADMISSION = "admission"
 
 #: actions (``none`` marks a tick that chose to do nothing)
 ACTION_RELOCATE = "relocate"
 ACTION_FORCED_SPILL = "forced_spill"
 ACTION_SPILL = "spill"
 ACTION_NONE = "none"
+ACTION_ADMIT = "admit"
+ACTION_REJECT = "reject"
+ACTION_FOLD = "fold"
 
-#: which trace-span name each executed action must be justified by
+#: which trace-span name each executed action must be justified by.
+#: Actions absent here (admission verdicts, idle ticks) never produce a
+#: spill/relocation span and are exempt from the bijection.
 _SPAN_NAME_FOR_ACTION = {
     ACTION_RELOCATE: "relocation",
     ACTION_FORCED_SPILL: "spill",
@@ -220,9 +227,11 @@ def _replay_gc(inputs: dict[str, Any]) -> dict[str, Any]:
     if len(reports) < 2:
         return {"action": ACTION_NONE, "rule": "deferred"}
 
-    if inputs.get("relocation_enabled"):
+    if inputs.get("relocation_enabled") and not inputs.get("arbitration_denied"):
         # max()/min() with a (bytes, machine) key: exactly the coordinator's
-        # deterministic tie-break.
+        # deterministic tie-break.  ``arbitration_denied`` marks ticks on
+        # which the serving layer's cross-deployment arbiter refused the
+        # relocation slot, so the coordinator fell through this branch.
         max_r = max(reports, key=lambda r: (r["state_bytes"], r["machine"]))
         min_r = min(reports, key=lambda r: (r["state_bytes"], r["machine"]))
         max_load, min_load = max_r["state_bytes"], min_r["state_bytes"]
@@ -286,6 +295,42 @@ def _replay_overflow(inputs: dict[str, Any]) -> dict[str, Any]:
     return {"action": ACTION_SPILL}
 
 
+def _replay_cluster_gc(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of :meth:`repro.serving.gc.ClusterGC.evaluate`'s victim
+    cascade over recorded inputs (pure arithmetic, list-order tie-breaks
+    included)."""
+    over = [t for t in inputs["tenants"] if t["usage"] > t["budget"]]
+    if not over:
+        return {"action": ACTION_NONE, "rule": "within_budget"}
+    victims = [v for v in inputs["victims"] if v["score"] > 0]
+    if not victims:
+        return {"action": ACTION_NONE, "rule": "no_victims"}
+    # max() returns the FIRST extreme in victim order — the cluster GC's
+    # deterministic (score, engine-name) tie-break is baked into the list.
+    best = max(victims, key=lambda v: (v["score"], v["engine"]))
+    amount = int(best["state_bytes"] * inputs["spill_fraction"])
+    if amount < inputs["min_spill_bytes"]:
+        return {"action": ACTION_NONE, "rule": "too_small"}
+    return {
+        "action": ACTION_FORCED_SPILL,
+        "machine": best["engine"],
+        "amount": amount,
+    }
+
+
+def _replay_admission(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of :meth:`repro.serving.server.QueryServer.submit`'s
+    admission cascade over recorded inputs."""
+    if inputs.get("fold_group"):
+        return {"action": ACTION_FOLD, "group": inputs["fold_group"]}
+    demand = inputs["memory_demand"]
+    if inputs["tenant_usage"] + demand > inputs["tenant_budget"]:
+        return {"action": ACTION_REJECT, "rule": "tenant_budget"}
+    if inputs["cluster_used"] + demand > inputs["cluster_capacity"]:
+        return {"action": ACTION_REJECT, "rule": "cluster_capacity"}
+    return {"action": ACTION_ADMIT}
+
+
 def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
     """Re-evaluate a ledger entry's decision from its recorded inputs.
 
@@ -298,6 +343,10 @@ def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
         return _replay_gc(entry["inputs"])
     if entry["kind"] == KIND_OVERFLOW_CHECK:
         return _replay_overflow(entry["inputs"])
+    if entry["kind"] == KIND_CLUSTER_GC:
+        return _replay_cluster_gc(entry["inputs"])
+    if entry["kind"] == KIND_ADMISSION:
+        return _replay_admission(entry["inputs"])
     raise ValueError(f"unknown ledger entry kind {entry['kind']!r}")
 
 
@@ -369,7 +418,9 @@ def check_ledger_trace(
         if not _executed(entry):
             continue
         span_id = entry.get("trace_span", 0)
-        expected_name = _SPAN_NAME_FOR_ACTION[entry["action"]]
+        expected_name = _SPAN_NAME_FOR_ACTION.get(entry["action"])
+        if expected_name is None:
+            continue  # admission verdicts etc. never open adaptation spans
         if not span_id:
             violations.append(
                 Violation(

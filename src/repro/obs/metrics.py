@@ -1,7 +1,7 @@
 """Unified metrics registry with Prometheus-style exposition.
 
 Before this module existed the reproduction's numbers lived in three
-disjoint places: :class:`~repro.cluster.metrics.MetricsHub` time series
+disjoint places: :class:`~repro.obs.hub.ObsHub` time series
 (what the figures plot), ad-hoc counter attributes scattered over the
 network / disk / store / coordinator objects (what the tests poke), and
 the adaptation event log.  :class:`MetricsRegistry` is the single
@@ -15,7 +15,7 @@ collection point all of them now publish into:
 * **Gauges** — point-in-time values (resident state bytes, queue depth).
   A *tracked* gauge additionally retains its full sample history as a
   :class:`TimeSeries` — exactly the series every paper figure is read
-  off, which is how ``MetricsHub`` re-plumbs through the registry
+  off, which is how deployments sample figure series into the registry
   without changing a single plotted number.
 * **Histograms** — bucketed distributions (spill sizes, relocation
   durations) observed directly by the event log.

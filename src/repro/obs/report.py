@@ -69,6 +69,14 @@ class RunData:
             if name.startswith("memory:")
         )
 
+    def output_series_names(self) -> list[str]:
+        """Cumulative-output series, standalone (``outputs``) or
+        namespaced per serving runtime (``q1:outputs``)."""
+        return sorted(
+            name for name in self.series
+            if name == "outputs" or name.endswith(":outputs")
+        )
+
 
 def load_run(path) -> RunData:
     """Parse a run file written by :func:`~repro.obs.ledger.write_run_jsonl`."""
@@ -126,6 +134,59 @@ def _gc_ratio(inputs: dict[str, Any]) -> str:
     )
 
 
+def _why_admission(action: str, rule: str, inputs: dict[str, Any]) -> str:
+    query = inputs.get("query")
+    tenant = inputs.get("tenant")
+    demand = _fmt_bytes(inputs.get("memory_demand", 0))
+    if action == "fold":
+        return (
+            f"folded query {query!r} (tenant {tenant!r}) onto shared group "
+            f"{inputs.get('fold_group')!r}: identical fold signature, so its "
+            f"{demand} demand is served from already-resident state"
+        )
+    if action == "reject" and rule == "tenant_budget":
+        return (
+            f"rejected query {query!r}: tenant {tenant!r} usage "
+            f"{_fmt_bytes(inputs.get('tenant_usage', 0))} + demand {demand} "
+            f"> budget {_fmt_bytes(inputs.get('tenant_budget', 0))}"
+        )
+    if action == "reject":
+        return (
+            f"rejected query {query!r} (tenant {tenant!r}): cluster used "
+            f"{_fmt_bytes(inputs.get('cluster_used', 0))} + demand {demand} "
+            f"> capacity {_fmt_bytes(inputs.get('cluster_capacity', 0))}"
+        )
+    return (
+        f"admitted query {query!r} for tenant {tenant!r}: demand {demand} "
+        f"fits the tenant budget "
+        f"({_fmt_bytes(inputs.get('tenant_usage', 0))} of "
+        f"{_fmt_bytes(inputs.get('tenant_budget', 0))} used) and cluster "
+        f"capacity ({_fmt_bytes(inputs.get('cluster_used', 0))} of "
+        f"{_fmt_bytes(inputs.get('cluster_capacity', 0))} used)"
+    )
+
+
+def _why_cluster_gc(inputs: dict[str, Any]) -> str:
+    tenant = inputs.get("chosen_tenant")
+    usage = next(
+        (t for t in inputs.get("tenants", []) if t.get("name") == tenant),
+        None,
+    )
+    over = (
+        f" ({_fmt_bytes(usage['usage'])} used of "
+        f"{_fmt_bytes(usage['budget'])} budget)"
+        if usage is not None
+        else ""
+    )
+    return (
+        f"ordered {inputs.get('chosen_machine')} to spill "
+        f"{_fmt_bytes(inputs.get('chosen_amount', 0))} because tenant "
+        f"{tenant!r} is over budget{over} and that engine scored highest "
+        f"among {len(inputs.get('victims', []))} cross-query candidates "
+        f"(overuse-weighted state bytes per unit of productivity)"
+    )
+
+
 def why(decision: dict[str, Any]) -> str:
     """One plain-English sentence explaining a ledger entry's decision,
     with the recorded numbers substituted into the rule that fired."""
@@ -133,6 +194,12 @@ def why(decision: dict[str, Any]) -> str:
     action = decision.get("action")
     rule = decision.get("rule", "")
     realized = decision.get("realized", {})
+    kind = decision.get("kind")
+
+    if kind == "admission":
+        return _why_admission(action, rule, inputs)
+    if kind == "cluster_gc" and action == "forced_spill":
+        return _why_cluster_gc(inputs)
 
     if action == "relocate":
         elapsed = float(inputs.get("now", 0)) - float(
@@ -205,7 +272,7 @@ def why(decision: dict[str, Any]) -> str:
 
 
 def _decision_site(decision: dict[str, Any]) -> str:
-    if decision.get("kind") == "gc_tick":
+    if decision.get("kind") in ("gc_tick", "cluster_gc"):
         if decision.get("action") == "relocate":
             return str(decision["inputs"].get("chosen_sender", ""))
         if decision.get("action") == "forced_spill":
@@ -298,8 +365,10 @@ def _summarize(run: RunData) -> dict[str, Any]:
         if d.get("action") == "relocate" and realized.get("status") == "done":
             bytes_relocated += int(realized.get("bytes_moved", 0))
     outputs = 0
-    if "outputs" in run.series and run.series["outputs"][1]:
-        outputs = int(run.series["outputs"][1][-1])
+    for name in run.output_series_names():
+        values = run.series[name][1]
+        if values:
+            outputs += int(values[-1])
     return {
         "outputs": outputs,
         "decision_counts": dict(sorted(counts.items())),
@@ -322,13 +391,29 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
     summary = _summarize(run)
     lines: list[str] = ["# Run report", ""]
 
-    if run.meta:
+    tenants = run.meta.get("tenants") or []
+    meta = {k: v for k, v in run.meta.items() if k != "tenants"}
+    if meta:
         lines.append("## Run")
         lines.append("")
         lines.append("| key | value |")
         lines.append("| --- | --- |")
-        for key in sorted(run.meta):
-            lines.append(f"| {key} | {run.meta[key]} |")
+        for key in sorted(meta):
+            lines.append(f"| {key} | {meta[key]} |")
+        lines.append("")
+
+    if tenants:
+        lines.append("## Tenants")
+        lines.append("")
+        lines.append("| tenant | budget | admitted demand | live state |")
+        lines.append("| --- | --- | --- | --- |")
+        for t in tenants:
+            lines.append(
+                f"| {t.get('name')} "
+                f"| {_fmt_bytes(t.get('budget', 0))} "
+                f"| {_fmt_bytes(t.get('admitted', 0))} "
+                f"| {_fmt_bytes(t.get('state_bytes', 0))} |"
+            )
         lines.append("")
 
     lines.append("## Summary")
@@ -344,16 +429,21 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
     lines.append("")
 
     acted = _acted(run.decisions)
-    if "outputs" in run.series:
-        times, values = run.series["outputs"]
+    output_names = run.output_series_names()
+    if output_names:
         lines.append("## Throughput (cumulative outputs)")
         lines.append("")
-        lines.append("```")
-        lines.append(_chart(times, values, duration=duration))
-        lines.append(_marker_row(acted, duration=duration))
-        lines.append(_axis(duration))
-        lines.append("```")
-        lines.append("")
+        for name in output_names:
+            times, values = run.series[name]
+            if len(output_names) > 1:
+                lines.append(f"### {name}")
+                lines.append("")
+            lines.append("```")
+            lines.append(_chart(times, values, duration=duration))
+            lines.append(_marker_row(acted, duration=duration))
+            lines.append(_axis(duration))
+            lines.append("```")
+            lines.append("")
         lines.append(
             "Markers: `R` relocation, `S` spill, `F` forced spill, "
             "`*` several decisions in one column."
@@ -495,11 +585,26 @@ def render_html(run: RunData) -> str:
         "</head><body>",
         "<h1>Run report</h1>",
     ]
-    if run.meta:
+    tenants = run.meta.get("tenants") or []
+    meta = {k: v for k, v in run.meta.items() if k != "tenants"}
+    if meta:
         parts.append("<h2>Run</h2><table>")
-        for key in sorted(run.meta):
+        for key in sorted(meta):
             parts.append(
-                f"<tr><th>{_esc(key)}</th><td>{_esc(run.meta[key])}</td></tr>"
+                f"<tr><th>{_esc(key)}</th><td>{_esc(meta[key])}</td></tr>"
+            )
+        parts.append("</table>")
+    if tenants:
+        parts.append(
+            "<h2>Tenants</h2><table><tr><th>tenant</th><th>budget</th>"
+            "<th>admitted demand</th><th>live state</th></tr>"
+        )
+        for t in tenants:
+            parts.append(
+                f"<tr><th>{_esc(t.get('name'))}</th>"
+                f"<td>{_esc(_fmt_bytes(t.get('budget', 0)))}</td>"
+                f"<td>{_esc(_fmt_bytes(t.get('admitted', 0)))}</td>"
+                f"<td>{_esc(_fmt_bytes(t.get('state_bytes', 0)))}</td></tr>"
             )
         parts.append("</table>")
     parts.append("<h2>Summary</h2><table>")
@@ -518,10 +623,14 @@ def render_html(run: RunData) -> str:
         f"<td>{_esc(_fmt_bytes(summary['bytes_relocated']))}</td></tr>"
     )
     parts.append("</table>")
-    if "outputs" in run.series:
-        times, values = run.series["outputs"]
+    output_names = run.output_series_names()
+    if output_names:
         parts.append("<h2>Throughput (cumulative outputs)</h2>")
-        parts.append(_svg_series(times, values, acted, duration=duration))
+        for name in output_names:
+            times, values = run.series[name]
+            if len(output_names) > 1:
+                parts.append(f"<h3>{_esc(name)}</h3>")
+            parts.append(_svg_series(times, values, acted, duration=duration))
     for machine in run.machines():
         times, values = run.series[f"memory:{machine}"]
         mine = [d for d in acted if _decision_site(d) == machine]
@@ -544,7 +653,7 @@ def render_diff(a: RunData, b: RunData, *, label_a: str = "A",
     sa, sb = _summarize(a), _summarize(b)
     lines = [f"# Run diff: {label_a} vs {label_b}", ""]
 
-    meta_keys = sorted(set(a.meta) | set(b.meta))
+    meta_keys = sorted((set(a.meta) | set(b.meta)) - {"tenants"})
     if meta_keys:
         lines.append("## Run")
         lines.append("")

@@ -11,7 +11,7 @@ machine-checked (see :mod:`repro.obs.invariants`).
 Design points
 -------------
 * **Zero overhead when disabled.**  Components reach the tracer through
-  :attr:`MetricsHub.tracer <repro.cluster.metrics.MetricsHub>`, which
+  :attr:`ObsHub.tracer <repro.obs.hub.ObsHub>`, which
   defaults to the shared :data:`NULL_TRACER`.  Every instrumentation site
   guards on ``tracer.enabled`` before building event fields, so a run
   without a tracer pays one attribute read and one branch per site — and

@@ -42,7 +42,7 @@ from repro.recovery.protocol import TrimRequest, TupleIdent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.disk import Disk
     from repro.cluster.machine import Machine
-    from repro.cluster.metrics import MetricsHub
+    from repro.obs.hub import ObsHub
     from repro.cluster.network import Network
     from repro.cluster.simulation import Simulator
     from repro.core.config import AdaptationConfig, CostModel
@@ -129,23 +129,29 @@ class CheckpointStore:
             self.bytes_written += entry.size_bytes
         self.commits += 1
 
-    def publish_metrics(self, registry) -> None:
-        """Pull-collector: cluster-wide durable-snapshot counters."""
+    def publish_metrics(self, registry, labels: dict | None = None) -> None:
+        """Pull-collector: cluster-wide durable-snapshot counters.
+        ``labels`` keeps concurrent deployments apart on a shared
+        registry."""
         registry.counter(
             "repro_checkpoint_commits_total",
             help="Commits applied to the snapshot registry",
+            labels=labels,
         ).set_total(self.commits)
         registry.counter(
             "repro_checkpoint_entries_total",
             help="Snapshot entries written",
+            labels=labels,
         ).set_total(self.entries_written)
         registry.counter(
             "repro_checkpoint_registry_bytes_total",
             help="Snapshot bytes written",
+            labels=labels,
         ).set_total(self.bytes_written)
         registry.gauge(
             "repro_checkpoint_registry_resident_bytes",
             help="Durable snapshot state currently registered",
+            labels=labels,
         ).set(self.total_bytes)
 
     def latest(self, pid: int) -> CheckpointEntry | None:
@@ -204,7 +210,7 @@ class CheckpointManager:
         registry: CheckpointStore,
         config: "AdaptationConfig",
         cost: "CostModel",
-        metrics: "MetricsHub",
+        metrics: "ObsHub",
         *,
         source_name: str = "source",
         peer: str | None = None,

@@ -32,7 +32,7 @@ from repro.recovery.protocol import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.cluster.metrics import MetricsHub
+    from repro.obs.hub import ObsHub
     from repro.cluster.network import Message, Network
     from repro.cluster.simulation import Simulator
     from repro.core.config import AdaptationConfig, CostModel
@@ -46,7 +46,7 @@ class RecoveryManager:
         self,
         sim: "Simulator",
         network: "Network",
-        metrics: "MetricsHub",
+        metrics: "ObsHub",
         registry: CheckpointStore,
         config: "AdaptationConfig",
         cost: "CostModel",
@@ -78,31 +78,38 @@ class RecoveryManager:
         self.tuples_replayed_total = 0
         self.protocol_ignored = 0
 
-    def publish_metrics(self, registry) -> None:
-        """Pull-collector: recovery-protocol counters."""
+    def publish_metrics(self, registry, labels: dict | None = None) -> None:
+        """Pull-collector: recovery-protocol counters.  ``labels`` keeps
+        concurrent deployments' counters apart on a shared registry."""
         registry.counter(
             "repro_recovery_crashes_detected_total",
             help="Machine failures declared by the detector",
+            labels=labels,
         ).set_total(self.crashes_detected)
         registry.counter(
             "repro_recovery_sessions_total",
             help="Recovery sessions completed",
+            labels=labels,
         ).set_total(self.recoveries_completed)
         registry.counter(
             "repro_recovery_partitions_total",
             help="Partitions re-homed by recovery",
+            labels=labels,
         ).set_total(self.partitions_recovered)
         registry.counter(
             "repro_recovery_bytes_restored_total",
             help="Snapshot bytes restored",
+            labels=labels,
         ).set_total(self.bytes_restored_total)
         registry.counter(
             "repro_recovery_tuples_replayed_total",
             help="Input tuples replayed from the source log",
+            labels=labels,
         ).set_total(self.tuples_replayed_total)
         registry.counter(
             "repro_recovery_protocol_ignored_total",
             help="Stale recovery-protocol messages dropped",
+            labels=labels,
         ).set_total(self.protocol_ignored)
 
     # ------------------------------------------------------------------

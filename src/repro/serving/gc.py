@@ -1,0 +1,274 @@
+"""Cross-query GC: cluster-level memory arbitration across deployments.
+
+The per-query :class:`~repro.core.coordinator.GlobalCoordinator` only
+balances state *within* its own deployment.  When many tenants share the
+cluster, someone has to arbitrate *between* them: the :class:`ClusterGC`
+extends the coordinator's evaluation-loop pattern to the serving layer.
+Every ``interval`` seconds it
+
+1. snapshots per-tenant live state (a fold group's bytes are split evenly
+   across its members — shared state is shared cost);
+2. if some tenant exceeds its budget, scores every engine of every
+   group that serves an over-budget tenant with
+   ``overuse_ratio x state_bytes / (1 + productivity_rate)`` — the
+   fairness-weighted analogue of the paper's forced-spill rule: evict
+   where the budget pressure is worst and the state earns least;
+3. orders the top victim to spill ``spill_fraction`` of its state over
+   the same ``start_ss`` wire protocol the per-query coordinator uses
+   (the engine acks ``ss_done`` back to the *requester*, so the reply
+   returns here, not to the query's own coordinator);
+4. records the decision — chosen victim, rejected cross-query
+   alternatives, full tenant/victim snapshot — as a ``cluster_gc``
+   ledger entry whose inputs replay offline through
+   :func:`repro.obs.ledger.replay_decision`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.simulation import Timer
+from repro.core.coordinator import _alt
+from repro.core.productivity import machine_productivity_rate
+from repro.core.relocation import ForcedSpillRequest
+from repro.obs.ledger import KIND_CLUSTER_GC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.server import QueryServer
+
+__all__ = ["ClusterGC", "ClusterGCStats"]
+
+
+@dataclass
+class ClusterGCStats:
+    """Counters summarising the cluster GC's activity over a run."""
+
+    evaluations: int = 0
+    orders: int = 0
+    bytes_ordered: int = 0
+    bytes_reclaimed: int = 0
+
+
+class ClusterGC:
+    """The serving layer's periodic cross-deployment memory arbiter."""
+
+    def __init__(
+        self,
+        server: "QueryServer",
+        *,
+        interval: float = 5.0,
+        spill_fraction: float = 0.5,
+        min_spill_bytes: int = 1024,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < spill_fraction <= 1:
+            raise ValueError("spill_fraction must be in (0, 1]")
+        self.server = server
+        self.interval = interval
+        self.spill_fraction = spill_fraction
+        self.min_spill_bytes = min_spill_bytes
+        self.stats = ClusterGCStats()
+        self._timer: Timer | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = Timer(
+                self.server.sim, self.interval, self.evaluate
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Evaluation pass
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> tuple[list[dict], list[dict]]:
+        """Deterministic tenant-usage and victim-candidate tables.
+
+        Victim order is (group id, engine name); the replay mirror's
+        ``max()`` tie-break depends on exactly this ordering.
+        """
+        server = self.server
+        tenants = [
+            {
+                "name": tenant.name,
+                "budget": tenant.memory_budget,
+                "usage": server.tenant_state_bytes(tenant.name),
+            }
+            for tenant in server.tenant_list()
+        ]
+        over = {
+            t["name"]: t["usage"] / t["budget"]
+            for t in tenants
+            if t["budget"] > 0 and t["usage"] > t["budget"]
+        }
+        victims: list[dict] = []
+        for group in server.active_groups():
+            member_tenants = sorted(
+                {server.queries[qid].tenant for qid in group.members}
+            )
+            ratios = [(over.get(name, 0.0), name) for name in member_tenants]
+            overuse, worst_tenant = max(ratios)
+            for name in sorted(group.deployment.engines):
+                store = group.deployment.engines[name].instance.store
+                rate = machine_productivity_rate(
+                    store.outputs_total, store.group_count
+                )
+                victims.append({
+                    "engine": name,
+                    "group": group.gid,
+                    "tenant": worst_tenant,
+                    "state_bytes": store.total_bytes,
+                    "productivity": rate,
+                    "score": overuse * store.total_bytes / (1.0 + rate),
+                })
+        return tenants, victims
+
+    def evaluate(self) -> None:
+        """One cross-query GC pass (mirrors
+        :func:`repro.obs.ledger._replay_cluster_gc` exactly)."""
+        server = self.server
+        groups = server.active_groups()
+        if not groups:
+            return
+        self.stats.evaluations += 1
+        ledger = server.metrics.ledger
+        tenants, victims = self._snapshot()
+        inputs = {
+            "now": server.sim.now,
+            "tenants": tenants,
+            "victims": victims,
+            "spill_fraction": self.spill_fraction,
+            "min_spill_bytes": self.min_spill_bytes,
+        }
+        over = [t for t in tenants if t["usage"] > t["budget"]]
+        alts: list[dict] | None = [] if ledger.enabled else None
+        if not over:
+            if ledger.enabled:
+                assert alts is not None
+                alts.append(_alt(
+                    "forced_spill",
+                    "every tenant within budget: "
+                    + ", ".join(
+                        f"{t['name']}={t['usage']}/{t['budget']} B"
+                        for t in tenants
+                    ),
+                ))
+                ledger.record(
+                    server.name, KIND_CLUSTER_GC, "none", "within_budget",
+                    inputs, alts,
+                )
+            return
+        scored = [v for v in victims if v["score"] > 0]
+        if not scored:
+            if ledger.enabled:
+                assert alts is not None
+                alts.append(_alt(
+                    "forced_spill",
+                    "no engine serves an over-budget tenant with "
+                    "positive-score state",
+                ))
+                ledger.record(
+                    server.name, KIND_CLUSTER_GC, "none", "no_victims",
+                    inputs, alts,
+                )
+            return
+        best = max(scored, key=lambda v: (v["score"], v["engine"]))
+        amount = int(best["state_bytes"] * self.spill_fraction)
+        if amount < self.min_spill_bytes:
+            if ledger.enabled:
+                assert alts is not None
+                alts.append(_alt(
+                    "forced_spill",
+                    f"amount = {best['state_bytes']} B x "
+                    f"{self.spill_fraction} = {amount} B < "
+                    f"min_spill_bytes = {self.min_spill_bytes} B",
+                ))
+                ledger.record(
+                    server.name, KIND_CLUSTER_GC, "none", "too_small",
+                    inputs, alts,
+                )
+            return
+        entry = 0
+        if ledger.enabled:
+            assert alts is not None
+            for loser in scored:
+                if loser is best:
+                    continue
+                alts.append(_alt(
+                    "forced_spill",
+                    f"victim {loser['engine']!r} (tenant "
+                    f"{loser['tenant']!r}): score = {loser['score']:.1f} "
+                    f"< chosen {best['score']:.1f}",
+                ))
+            alts.append(_alt(
+                "forced_spill",
+                f"tenant {best['tenant']!r} over budget -> spill "
+                f"{amount} B on {best['engine']!r} (score "
+                f"{best['score']:.1f}: overuse x {best['state_bytes']} B "
+                f"/ (1 + {best['productivity']:.3f}))",
+                outcome="chosen",
+            ))
+            entry = ledger.record(
+                server.name,
+                KIND_CLUSTER_GC,
+                "forced_spill",
+                "tenant_budget",
+                {
+                    **inputs,
+                    "chosen_machine": best["engine"],
+                    "chosen_amount": amount,
+                    "chosen_tenant": best["tenant"],
+                },
+                alts,
+            )
+        self.stats.orders += 1
+        self.stats.bytes_ordered += amount
+        server.metrics.events.record(
+            server.sim.now,
+            "cluster_gc_order",
+            best["engine"],
+            tenant=best["tenant"],
+            group=best["group"],
+            bytes=amount,
+        )
+        server.network.send(
+            server.name,
+            best["engine"],
+            "start_ss",
+            ForcedSpillRequest(amount=amount, ledger_entry=entry),
+            server.cost.control_message_bytes,
+        )
+
+    def on_ss_done(self, message) -> None:
+        """Completion ack from a victim engine (routed to the server's
+        network endpoint because the order originated here)."""
+        self.stats.bytes_reclaimed += message.payload.bytes_spilled
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def publish_metrics(self, registry) -> None:
+        labels = {"coordinator": "cluster_gc"}
+        registry.counter(
+            "repro_cluster_gc_evaluations_total",
+            help="Cross-query GC passes over active groups",
+            labels=labels,
+        ).set_total(self.stats.evaluations)
+        registry.counter(
+            "repro_cluster_gc_orders_total",
+            help="Cross-query forced-spill orders sent",
+            labels=labels,
+        ).set_total(self.stats.orders)
+        registry.counter(
+            "repro_cluster_gc_bytes_reclaimed_total",
+            help="Bytes acknowledged spilled under cross-query GC orders",
+            labels=labels,
+        ).set_total(self.stats.bytes_reclaimed)

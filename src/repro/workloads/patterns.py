@@ -41,6 +41,11 @@ class UniformPattern(LoadPattern):
     def phase(self, time: float) -> int:
         return 0
 
+    def __repr__(self) -> str:
+        # parameter-complete and address-free: workload reprs feed the
+        # serving layer's fold-compatibility signature
+        return "UniformPattern()"
+
 
 class AlternatingPattern(LoadPattern):
     """Cyclically boost disjoint partition sets (Figures 9-10 workload).
@@ -81,3 +86,10 @@ class AlternatingPattern(LoadPattern):
     def multiplier(self, pid: int, time: float) -> float:
         active = self.pid_groups[self.phase(time) % len(self.pid_groups)]
         return self.factor if pid in active else 1.0
+
+    def __repr__(self) -> str:
+        groups = [sorted(g) for g in self.pid_groups]
+        return (
+            f"AlternatingPattern(pid_groups={groups!r}, "
+            f"period={self.period!r}, factor={self.factor!r})"
+        )

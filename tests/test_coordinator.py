@@ -6,7 +6,7 @@ deployment), checking the θ_r / τ_m / λ decision rules of Algorithms 1-2.
 
 import pytest
 
-from repro.cluster.metrics import MetricsHub
+from repro.obs.hub import ObsHub
 from repro.cluster.network import Network
 from repro.cluster.simulation import Simulator
 from repro.core.config import AdaptationConfig, CostModel, StrategyName
@@ -20,7 +20,7 @@ class Harness:
     def __init__(self, config, workers=("m1", "m2")):
         self.sim = Simulator()
         self.network = Network(self.sim)
-        self.metrics = MetricsHub()
+        self.metrics = ObsHub()
         self.sent = []
         for name in (*workers, "source"):
             self.network.register(
@@ -185,7 +185,7 @@ class TestValidation:
         sim = Simulator()
         net = Network(sim)
         with pytest.raises(ValueError):
-            GlobalCoordinator(sim, net, MetricsHub(), lazy_config(),
+            GlobalCoordinator(sim, net, ObsHub(), lazy_config(),
                               CostModel(), workers=["m1", "m1"],
                               split_hosts=["source"])
 

@@ -173,8 +173,8 @@ class TestStatsAndNetwork:
         dep = small_deployment(memory_threshold=15_000)
         dep.run(duration=30, sample_interval=10)
         for worker in dep.worker_names:
-            assert dep.metrics.has_series(f"queue:{worker}")
-            assert dep.metrics.has_series(f"disk:{worker}")
+            assert dep.metrics.registry.has_timeseries(f"queue:{worker}")
+            assert dep.metrics.registry.has_timeseries(f"disk:{worker}")
 
     def test_cleanup_event_recorded(self):
         dep = small_deployment(memory_threshold=10_000)

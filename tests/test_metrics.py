@@ -1,8 +1,10 @@
-"""Unit tests for time series, event logs and the metrics hub."""
+"""Unit tests for time series, event logs and the observability hub."""
 
 import pytest
 
-from repro.cluster.metrics import EventLog, MetricsHub, TimeSeries
+from repro.obs.events import EventLog
+from repro.obs.hub import ObsHub
+from repro.obs.metrics import TimeSeries
 
 
 class TestTimeSeries:
@@ -94,23 +96,27 @@ class TestEventLog:
         assert next(iter(log)).kind == "cleanup"
 
 
-class TestMetricsHub:
-    def test_series_created_on_first_use(self):
-        hub = MetricsHub()
-        hub.sample(0.0, "outputs", 1.0)
-        hub.sample(1.0, "outputs", 2.0)
-        assert hub.series("outputs").values == (1.0, 2.0)
-        assert hub.has_series("outputs")
-        assert not hub.has_series("nope")
+class TestObsHub:
+    def test_registry_series_via_hub(self):
+        hub = ObsHub()
+        hub.registry.sample(0.0, "outputs", 1.0)
+        hub.registry.sample(1.0, "outputs", 2.0)
+        assert hub.registry.timeseries("outputs").values == (1.0, 2.0)
+        assert hub.registry.has_timeseries("outputs")
+        assert not hub.registry.has_timeseries("nope")
 
-    def test_series_names_sorted(self):
-        hub = MetricsHub()
-        hub.sample(0.0, "z", 1.0)
-        hub.sample(0.0, "a", 1.0)
-        assert hub.series_names() == ("a", "z")
+    def test_event_mirrored_into_registry(self):
+        hub = ObsHub()
+        hub.events.record(3.0, "spill", "m1", bytes=4096, duration=0.5)
+        fam = hub.registry.counter(
+            "repro_adaptation_events_total", labels={"kind": "spill"}
+        )
+        assert fam.value == 1
+        assert hub.registry.histogram(
+            "repro_adaptation_bytes", labels={"kind": "spill"}
+        ).count == 1
 
-    def test_counters(self):
-        hub = MetricsHub()
-        hub.bump("tuples")
-        hub.bump("tuples", 4)
-        assert hub.counters["tuples"] == 5
+    def test_null_tracer_and_ledger_by_default(self):
+        hub = ObsHub()
+        assert not hub.tracer.enabled
+        assert not hub.ledger.enabled

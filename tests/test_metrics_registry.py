@@ -203,30 +203,26 @@ class TestExposition:
         assert _fmt(2.5) == "2.5"
 
 
-class TestHubShim:
-    """The old MetricsHub API must keep working on top of the registry."""
+class TestObsHub:
+    """The hub is a thin bundle over the registry — no re-plumbing layer."""
 
-    def test_bump_and_counters_view(self):
-        from repro.cluster.metrics import MetricsHub
+    def test_shim_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.cluster.metrics  # noqa: F401
 
-        hub = MetricsHub()
-        hub.bump("tuples", 5)
-        hub.bump("tuples")
-        assert hub.counters["tuples"] == 6
+    def test_registry_timeseries_direct(self):
+        from repro.obs.hub import ObsHub
 
-    def test_series_is_registry_timeseries(self):
-        from repro.cluster.metrics import MetricsHub
-
-        hub = MetricsHub()
-        hub.sample(1.0, "outputs", 42)
-        assert hub.series("outputs") is hub.registry.timeseries("outputs")
-        assert hub.has_series("outputs")
-        assert "outputs" in hub.series_names()
+        hub = ObsHub()
+        hub.registry.sample(1.0, "outputs", 42)
+        assert hub.registry.timeseries("outputs").values == (42,)
+        assert hub.registry.has_timeseries("outputs")
+        assert "outputs" in hub.registry.timeseries_names()
 
     def test_event_log_mirrors_into_registry(self):
-        from repro.cluster.metrics import MetricsHub
+        from repro.obs.hub import ObsHub
 
-        hub = MetricsHub()
+        hub = ObsHub()
         hub.events.record(3.0, "spill", "m1", bytes=1000, duration=0.5)
         text = hub.registry.to_prometheus()
         assert 'repro_adaptation_events_total{kind="spill"} 1 3000' in text
@@ -251,3 +247,52 @@ class TestHubShim:
         assert "repro_source_tuples_routed_total" in text
         # figure series flow through the same registry
         assert dep.metrics.registry.has_timeseries("outputs")
+
+
+class TestServingLabels:
+    """Per-tenant/per-query metric labels on the shared serving registry."""
+
+    @staticmethod
+    def run_server():
+        from repro.serving import QueryServer, QuerySpec, Tenant
+        from repro import AdaptationConfig, StrategyName
+        from repro.workloads import WorkloadSpec, three_way_join
+
+        server = QueryServer(
+            [Tenant("acme", 500_000), Tenant("globex", 500_000)],
+            cluster_capacity=1_000_000,
+        )
+        config = AdaptationConfig(
+            strategy=StrategyName.LAZY_DISK, memory_threshold=30_000,
+            coordinator_interval=5.0, stats_interval=2.0, ss_interval=2.0,
+        )
+        for i, tenant in enumerate(("acme", "globex")):
+            server.submit(QuerySpec(
+                join=three_way_join(),
+                workload=WorkloadSpec.uniform(
+                    n_partitions=12, join_rate=4.0, tuple_range=400,
+                    interarrival=0.02, seed=7 + i,
+                ),
+                config=config,
+                workers=2,
+                tenant=tenant,
+                duration=25.0,
+            ))
+        server.run_for(35.0, sample_interval=5.0)
+        server.finish()
+        return server
+
+    def test_exposition_carries_tenant_and_query_labels(self):
+        text = self.run_server().metrics.registry.to_prometheus()
+        # engine metrics carry the owning tenant and query of their runtime
+        assert 'machine="q1:m1"' in text
+        assert 'query="q1"' in text and 'query="q2"' in text
+        assert 'tenant="acme"' in text and 'tenant="globex"' in text
+        # server-level accounting is labeled per tenant
+        assert 'repro_tenant_budget_bytes{tenant="acme"} 500000' in text
+        assert "repro_fold_state_bytes_saved" in text
+
+    def test_exposition_byte_identical_across_same_seed_runs(self):
+        first = self.run_server().metrics.registry.to_prometheus()
+        second = self.run_server().metrics.registry.to_prometheus()
+        assert first == second

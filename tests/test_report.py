@@ -9,7 +9,7 @@ from repro.bench.report import (
     series_csv,
     series_table,
 )
-from repro.cluster.metrics import TimeSeries
+from repro.obs.metrics import TimeSeries
 
 
 def make_series(name, samples):
