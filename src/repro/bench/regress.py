@@ -19,10 +19,15 @@ perf trajectory the ROADMAP asks for.  Five hot paths are timed:
   vs columnar state, isolating the zero-copy snapshot win
   (``serialize_columnar_speedup``).
 
-One further metric is not a wall-clock rate: ``fold_state_bytes_saved``
+Two further metrics are not wall-clock rates: ``fold_state_bytes_saved``
 is the peak state the serving layer's join folding avoids duplicating in
-a deterministic 4-query shared-stream scenario, pinned by the gate like
-the speedup floors so folding cannot quietly stop sharing state.
+a deterministic 4-query shared-stream scenario, and
+``repartition_throughput_recovery`` is the runtime-output ratio of a
+skew-hot run with group split/merge enabled over the same run without it
+(splitting the monster group restores fine-grained victim selection, so
+productive state stays in memory).  Both are pinned by the gate like the
+speedup floors, so folding cannot quietly stop sharing state and
+repartition cannot quietly stop recovering throughput under skew.
 
 Results go to ``benchmarks/results/BENCH_perf.json``; ``--check`` compares
 a fresh run against the committed baseline and fails the process when any
@@ -71,13 +76,19 @@ HIGHER_IS_BETTER = (
     "serialize_row_bytes_per_s",
     "serialize_columnar_bytes_per_s",
     "fold_state_bytes_saved",
+    "repartition_throughput_recovery",
 )
 
 
 def _unit(name: str) -> str:
     """Display/unit suffix for a HIGHER_IS_BETTER metric (most are
-    throughputs; the folding metric is simulated bytes saved)."""
-    return "/s" if name.endswith("_per_s") else " B"
+    throughputs; the folding metric is simulated bytes saved, the
+    repartition metric a simulated throughput ratio)."""
+    if name.endswith("_per_s"):
+        return "/s"
+    if name.endswith("_recovery"):
+        return "x"
+    return " B"
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +361,68 @@ def bench_folding() -> dict:
     }
 
 
+def bench_repartition() -> dict:
+    """Runtime-output ratio of a skew-hot windowed run with group
+    split/merge enabled over the identical run with it disabled.
+
+    One partition gets 6x the key share plus an alternating 6x load
+    boost, under memory pressure tight enough that the lazy-disk strategy
+    keeps spilling.  Without repartition the monster group is an
+    all-or-nothing spill victim, so productive state rides to disk with
+    it; with split/merge enabled the group is sub-hashed into children
+    and victim selection regains granularity.  Simulated and fully
+    deterministic for the fixed seed — a drop means the split rule
+    stopped firing (or stopped helping), not that the machine was slow.
+    """
+    from repro.core.config import AdaptationConfig, StrategyName
+    from repro.engine.plan import Deployment
+    from repro.workloads.generator import PartitionWorkload, WorkloadSpec
+    from repro.workloads.patterns import AlternatingPattern
+    from repro.workloads.queries import three_way_join as windowed_join
+
+    def run(enabled: bool) -> tuple[int, int]:
+        parts = tuple(
+            PartitionWorkload(pid=i, join_rate=3.0, tuple_range=240,
+                              weight=(6.0 if i == 0 else 1.0))
+            for i in range(8)
+        )
+        workload = WorkloadSpec(
+            n_partitions=8, partitions=parts, interarrival=0.05, seed=11,
+            pattern=AlternatingPattern([{0}, frozenset()], period=30.0,
+                                       factor=6.0),
+        )
+        dep = Deployment(
+            join=windowed_join(window=10.0),
+            workload=workload,
+            workers=2,
+            config=AdaptationConfig(
+                strategy=StrategyName.LAZY_DISK,
+                memory_threshold=30_000,
+                theta_r=0.05, tau_m=10.0,
+                coordinator_interval=5.0, stats_interval=2.0,
+                ss_interval=2.0, min_relocation_bytes=1024,
+                repartition_enabled=enabled, split_skew_factor=2.5,
+                split_min_bytes=4_000, merge_max_bytes=6_000, tau_p=8.0,
+            ),
+            assignment={"m1": 1.0, "m2": 1.0},
+        )
+        dep.run(duration=90.0, sample_interval=10.0)
+        splits = (dep.coordinator.repartition.splits_completed
+                  if enabled else 0)
+        return dep.total_outputs, splits
+
+    with_split, splits = run(True)
+    without, __ = run(False)
+    if splits == 0:
+        raise AssertionError("repartition benchmark fired no split")
+    return {
+        "repartition_throughput_recovery": with_split / without,
+        "repartition_splits": splits,
+        "repartition_outputs": with_split,
+        "repartition_outputs_baseline": without,
+    }
+
+
 def run_benchmarks(
     *, tuples: int = 60_000, batch_size: int = 50, repeats: int = 3
 ) -> dict:
@@ -366,6 +439,7 @@ def run_benchmarks(
     metrics.update(bench_relocation(tuples // 2, batch_size, repeats))
     metrics.update(bench_serialize(tuples // 2, batch_size, repeats))
     metrics.update(bench_folding())
+    metrics.update(bench_repartition())
     return {
         "schema": SCHEMA,
         "params": {
@@ -463,9 +537,12 @@ def main(argv: list[str] | None = None) -> int:
     metrics = document["metrics"]
     print("wall-clock regression benchmarks")
     for name in HIGHER_IS_BETTER:
+        if name.endswith("_recovery"):
+            continue  # printed with the ratios below
         print(f"  {name:<30} {metrics[name]:>14,.0f}{_unit(name)}")
     for name in ("join_batch_speedup", "join_columnar_speedup",
-                 "serialize_columnar_speedup"):
+                 "serialize_columnar_speedup",
+                 "repartition_throughput_recovery"):
         print(f"  {name:<30} {metrics[name]:>13.2f}x")
 
     args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -35,7 +35,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.cluster.disk import Disk, SpillSegment
 from repro.core.config import CostModel
-from repro.engine.partitions import FrozenPartitionGroup
+from repro.engine.partitions import FrozenPartitionGroup, rebucket_frozen
 from repro.engine.tuples import JoinResult, StreamTuple
 from repro.obs.trace import NULL_TRACER
 
@@ -227,6 +227,7 @@ class CleanupExecutor:
         memory_parts: Mapping[int, tuple[str, FrozenPartitionGroup]],
         *,
         materialize: bool = False,
+        route=None,
     ) -> CleanupReport:
         """Merge all spilled segments with their final memory parts.
 
@@ -239,22 +240,41 @@ class CleanupExecutor:
             memory-resident group), for partitions still live at end of run.
         materialize:
             Produce actual :class:`JoinResult` objects (correctness mode).
+        route:
+            Final routing function ``key -> pid`` (the splits' end-of-run
+            table).  Required once the run repartitioned: a segment spilled
+            before a split was frozen under the retired parent pid and
+            holds both children's keys, so its parts are re-bucketed by the
+            final routing before the per-pid merge.  ``None`` (no
+            repartitioning) keeps the segment's own pid.
         """
         report = CleanupReport()
         tracer = self.tracer
         span = 0
         if tracer.enabled:
             span = tracer.begin_span("cleanup", stage=self.stage)
-        # 1. organise segments by partition ID across all machines
-        by_pid: dict[int, list[SpillSegment]] = {}
+        # 1. organise segment parts by *final* partition ID across all
+        # machines; without a route every segment contributes one part
+        # under its own pid
+        by_pid: dict[int, list[tuple[SpillSegment, FrozenPartitionGroup]]] = {}
         for disk in disks.values():
             for segment in disk.segments:
-                by_pid.setdefault(segment.partition_id, []).append(segment)
-        for pid, segments in sorted(by_pid.items()):
-            segments.sort(key=lambda s: (s.spilled_at, s.generation))
-            parts: list[FrozenPartitionGroup] = [s.frozen for s in segments]
-            # reading each segment is charged to the disk that holds it
-            for segment in segments:
+                if route is None:
+                    buckets = {segment.partition_id: segment.frozen}
+                else:
+                    buckets = rebucket_frozen(segment.frozen, route)
+                for pid, part in sorted(buckets.items()):
+                    by_pid.setdefault(pid, []).append((segment, part))
+        charged: set[int] = set()
+        for pid, entries in sorted(by_pid.items()):
+            # child parts inherit their segment's spill order
+            entries.sort(key=lambda e: (e[0].spilled_at, e[0].generation))
+            parts: list[FrozenPartitionGroup] = [part for __, part in entries]
+            # reading each segment is charged once, to the disk holding it
+            for segment, __ in entries:
+                if id(segment) in charged:
+                    continue
+                charged.add(id(segment))
                 stats = report.machine_stats(segment.machine_name)
                 stats.bytes_read += segment.size_bytes
                 disk = disks[segment.machine_name]
@@ -265,10 +285,10 @@ class CleanupExecutor:
             # makes lazy-disk's cleanup parallel: its spilled state is
             # spread across machines (paper §5.2)
             bytes_per_machine: dict[str, int] = {}
-            for segment in segments:
+            for segment, part in entries:
+                size = segment.size_bytes if route is None else part.size_bytes
                 bytes_per_machine[segment.machine_name] = (
-                    bytes_per_machine.get(segment.machine_name, 0)
-                    + segment.size_bytes
+                    bytes_per_machine.get(segment.machine_name, 0) + size
                 )
             owner = max(sorted(bytes_per_machine), key=bytes_per_machine.get)
             mem = memory_parts.get(pid)
@@ -280,7 +300,7 @@ class CleanupExecutor:
                 if span:
                     tracer.event(
                         "cleanup.skip", span=span, pid=pid,
-                        stage=self.stage, segments=len(segments),
+                        stage=self.stage, segments=len(entries),
                     )
                 continue
             # 2-3. incremental merge producing the missing results
@@ -304,11 +324,11 @@ class CleanupExecutor:
             stats.results += count
             report.missing_results += count
             report.partitions_merged += 1
-            report.segments_merged += len(segments)
+            report.segments_merged += len(entries)
             if span:
                 tracer.event(
                     "cleanup.merge", machine=owner, span=span, pid=pid,
-                    stage=self.stage, segments=len(segments),
+                    stage=self.stage, segments=len(entries),
                     parts=len(parts), results=count,
                 )
         if span:

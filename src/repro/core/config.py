@@ -204,6 +204,24 @@ class AdaptationConfig:
     #: threshold before the coordinator forces state to disk.
     forced_spill_pressure: float = 0.6
 
+    # ----- runtime repartitioning (repro.core.repartition) ---------------
+    #: Master switch for runtime partition-group split/merge under skew.
+    #: Off by default: with it off routing tables are fixed for the whole
+    #: run, exactly as the paper describes.
+    repartition_enabled: bool = False
+    #: Split fires when the largest group exceeds ``split_skew_factor``
+    #: times the machine's average group size (max·count > factor·total).
+    split_skew_factor: float = 4.0
+    #: ...and is at least this many bytes (suppresses degenerate splits of
+    #: small early-run groups).
+    split_min_bytes: int = 64_000
+    #: Two sibling child groups merge back when their combined resident
+    #: size drops to or below this many bytes.
+    merge_max_bytes: int = 8_192
+    #: Minimum seconds between two consecutive repartitions (the split/
+    #: merge analogue of the relocation spacing τ_m).
+    tau_p: float = 20.0
+
     # ----- crash recovery (repro.recovery; beyond the paper) ------------
     #: Master switch for the checkpoint/recovery subsystem.  Off by default:
     #: with it off the engines, coordinator, and source hosts behave exactly
@@ -244,6 +262,14 @@ class AdaptationConfig:
             raise ValueError("forced_spill_pressure must be in [0, 1]")
         if self.min_relocation_bytes < 0:
             raise ValueError("min_relocation_bytes must be non-negative")
+        if self.split_skew_factor <= 1:
+            raise ValueError("split_skew_factor must exceed 1")
+        if self.split_min_bytes <= 0:
+            raise ValueError("split_min_bytes must be positive")
+        if self.merge_max_bytes < 0:
+            raise ValueError("merge_max_bytes must be non-negative")
+        if self.tau_p < 0:
+            raise ValueError("tau_p must be non-negative")
         for name in (
             "ss_interval",
             "stats_interval",

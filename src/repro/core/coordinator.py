@@ -28,6 +28,7 @@ from repro.cluster.network import Message, Network
 from repro.cluster.simulation import Simulator, Timer
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.productivity import machine_productivity_rate
+from repro.core.repartition import RepartitionManager
 from repro.recovery.protocol import AbortTransferRequest
 from repro.core.relocation import (
     STEP_NAMES,
@@ -93,9 +94,15 @@ class GlobalCoordinator:
         split_hosts: list[str],
         *,
         name: str = GC_NAME,
+        n_partitions: int = 0,
     ) -> None:
         if len(set(workers)) != len(workers):
             raise ValueError(f"duplicate worker names {workers!r}")
+        if config.repartition_enabled and n_partitions <= 0:
+            raise ValueError(
+                "repartition_enabled requires the coordinator to know "
+                "n_partitions (the routing modulus child pids start from)"
+            )
         self.sim = sim
         self.network = network
         self.metrics = metrics
@@ -111,6 +118,8 @@ class GlobalCoordinator:
         self._timer: Timer | None = None
         #: optional crash-recovery driver (repro.recovery.RecoveryManager)
         self.recovery = None
+        #: split/merge protocol driver (inert unless repartition_enabled)
+        self.repartition = RepartitionManager(self, n_partitions)
         network.register(name, self.deliver)
 
     def attach_recovery(self, recovery) -> None:
@@ -136,6 +145,8 @@ class GlobalCoordinator:
     # ------------------------------------------------------------------
     def deliver(self, message: Message) -> None:
         handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            handler = getattr(self.repartition, f"_on_{message.kind}", None)
         if handler is None and self.recovery is not None:
             handler = getattr(self.recovery, f"_on_{message.kind}", None)
         if handler is None:
@@ -168,6 +179,11 @@ class GlobalCoordinator:
                 and {self.session.sender, self.session.receiver} & self.recovery.dead
             ):
                 self._abort_session()
+            if (
+                self.repartition.active
+                and self.repartition.session.owner in self.recovery.dead
+            ):
+                self.repartition.abort_dead()
             if self.recovery.active:
                 # all other adaptations are deferred while a recovery runs
                 if ledger.enabled:
@@ -177,6 +193,12 @@ class GlobalCoordinator:
             if ledger.enabled:
                 self._ledger_deferred(
                     "relocation_in_flight", phase=self.session.phase
+                )
+            return
+        if self.repartition.active:
+            if ledger.enabled:
+                self._ledger_deferred(
+                    "repartition_in_flight", phase=self.repartition.session.phase
                 )
             return
         reports = [self.latest.get(w) for w in self.workers]
@@ -189,6 +211,10 @@ class GlobalCoordinator:
         if self.config.relocation_enabled and self._try_relocation(known, alts):
             return
         if self.config.forced_spill_enabled and self._try_forced_spill(known, alts):
+            return
+        if self.config.repartition_enabled and self.repartition.maybe_adapt(
+            known, alts
+        ):
             return
         if ledger.enabled:
             ledger.record(
@@ -703,6 +729,8 @@ class GlobalCoordinator:
             help="Stale/unsolicited protocol messages dropped",
             labels=gc,
         ).set_total(self.stats.protocol_ignored)
+        if self.config.repartition_enabled:
+            self.repartition.publish_metrics(registry)
 
     def _session_in_phase(self, expected_phase: str) -> RelocationSession | None:
         """The active session if it is in ``expected_phase``, else ``None``.

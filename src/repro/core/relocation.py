@@ -54,6 +54,16 @@ class StatsReport:
     #: bumped by every crash of the reporting engine; lets the failure
     #: detector notice a crash+restart that happened between heartbeats
     incarnation: int = 0
+    #: largest resident partition group (bytes) and its id — the one
+    #: aggregate the repartition policy needs to see skew without shipping
+    #: per-partition detail (-1 = not reported / store empty)
+    max_group_bytes: int = 0
+    max_group_pid: int = -1
+    #: up to the 8 smallest resident groups as ``(pid, bytes)`` pairs,
+    #: reported only when repartitioning is enabled; the GC intersects
+    #: these with its refinement trie to find co-resident cold sibling
+    #: pairs worth merging
+    small_groups: tuple[tuple[int, int], ...] = ()
 
 
 @dataclass(frozen=True)

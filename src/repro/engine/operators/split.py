@@ -82,6 +82,18 @@ class PartitionMap:
                 raise KeyError(f"cannot remap unknown partition {pid}")
             self._owner[pid] = machine
 
+    def install(self, pid: int, machine: str) -> None:
+        """Register a new partition ID (a repartition child group)."""
+        if pid in self._owner:
+            raise KeyError(f"partition {pid} already mapped")
+        self._owner[pid] = machine
+
+    def remove(self, pid: int) -> None:
+        """Retire a partition ID (a split parent / merged children)."""
+        if pid not in self._owner:
+            raise KeyError(f"cannot remove unknown partition {pid}")
+        del self._owner[pid]
+
     def partitions_of(self, machine: str) -> tuple[int, ...]:
         return tuple(sorted(p for p, m in self._owner.items() if m == machine))
 
@@ -126,10 +138,28 @@ class Split(StatelessOperator):
         self._paused: set[int] = set()
         self._buffers: dict[int, list[StreamTuple]] = {}
         self.buffered_total = 0
+        #: repartition refinement trie: split parent pid -> (child0, child1).
+        #: Routing first hashes ``key % n_partitions`` then descends while
+        #: the pid is refined, consuming one bit of ``key // n_partitions``
+        #: per level — only leaves split, so the loop counter equals the
+        #: node's depth.
+        self._refine: dict[int, tuple[int, int]] = {}
+        #: bumped on every refinement change; flipped atomically with the
+        #: partition-map edit inside :meth:`apply_split`/:meth:`apply_merge`
+        self.routing_version = 0
 
     def route(self, key: int) -> int:
-        """Partition ID for a join-key value (stable hash)."""
-        return key % self.n_partitions
+        """Partition ID for a join-key value (stable hash + refinement)."""
+        pid = key % self.n_partitions
+        refine = self._refine
+        if not refine:
+            return pid
+        bits = key // self.n_partitions
+        depth = 0
+        while pid in refine:
+            pid = refine[pid][(bits >> depth) & 1]
+            depth += 1
+        return pid
 
     def process(self, item: StreamTuple) -> Iterator[tuple[int, str, StreamTuple]]:
         """Route one tuple: yields ``(pid, owner_machine, tuple)`` or nothing
@@ -166,6 +196,78 @@ class Split(StatelessOperator):
                 flushed.append((pid, new_owner, tup))
                 self.outputs_emitted += 1
         return flushed
+
+    # ------------------------------------------------------------------
+    # Repartition hooks (driven by the split/merge protocol)
+    # ------------------------------------------------------------------
+    def apply_split(self, parent: int, children: tuple[int, int], owner: str,
+                    *, flush: bool = True
+                    ) -> list[tuple[int, str, StreamTuple]]:
+        """Refine ``parent`` into ``children`` and re-route its buffer.
+
+        The refinement entry, the partition-map edit and the buffer
+        re-routing happen in one call, so no tuple can ever observe a
+        half-flipped table.  With ``flush`` (the normal path) the parent's
+        buffered tuples are returned re-routed through the *new* table in
+        arrival order; with ``flush=False`` (owner died mid-session — the
+        routing flip still must complete so recovery restores child pids)
+        they are moved into the children's buffers and the children stay
+        paused for the recovery protocol to resume.
+        """
+        if parent in self._refine:
+            return []  # idempotent: a crashed session may re-send the remap
+        self._refine[parent] = children
+        for child in children:
+            self.partition_map.install(child, owner)
+        self.partition_map.remove(parent)
+        self.routing_version += 1
+        self._paused.discard(parent)
+        buffered = self._buffers.pop(parent, [])
+        flushed: list[tuple[int, str, StreamTuple]] = []
+        for tup in buffered:
+            pid = self.route(tup.key)
+            if flush:
+                flushed.append((pid, owner, tup))
+                self.outputs_emitted += 1
+            else:
+                self._paused.add(pid)
+                self._buffers.setdefault(pid, []).append(tup)
+        return flushed
+
+    def apply_merge(self, parent: int, children: tuple[int, int], owner: str,
+                    *, flush: bool = True
+                    ) -> list[tuple[int, str, StreamTuple]]:
+        """Collapse a refinement node: ``children`` fold back into
+        ``parent``.  Buffered child tuples are interleaved deterministically
+        by ``(ts, stream, seq)`` — the probe-insert join's result set is
+        insertion-order independent, so any total order is correct, and this
+        one is reproducible."""
+        if self._refine.get(parent) != tuple(children):
+            return []  # idempotent (see apply_split)
+        del self._refine[parent]
+        self.partition_map.install(parent, owner)
+        buffered: list[StreamTuple] = []
+        for child in children:
+            self.partition_map.remove(child)
+            self._paused.discard(child)
+            buffered.extend(self._buffers.pop(child, []))
+        self.routing_version += 1
+        buffered.sort(key=lambda t: (t.ts, t.stream, t.seq))
+        flushed: list[tuple[int, str, StreamTuple]] = []
+        for tup in buffered:
+            pid = self.route(tup.key)
+            if flush:
+                flushed.append((pid, owner, tup))
+                self.outputs_emitted += 1
+            else:
+                self._paused.add(pid)
+                self._buffers.setdefault(pid, []).append(tup)
+        return flushed
+
+    @property
+    def refinement(self) -> dict[int, tuple[int, int]]:
+        """Snapshot of the refinement trie (parent pid -> children)."""
+        return dict(self._refine)
 
     @property
     def paused_partitions(self) -> frozenset[int]:

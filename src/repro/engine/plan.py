@@ -344,6 +344,7 @@ class Deployment:
             workers=workers,
             split_hosts=[self.source_name],
             name=self.coordinator_name,
+            n_partitions=workload.n_partitions,
         )
 
         # --- crash-fault tolerance (repro.recovery, opt-in) ---------------
@@ -523,8 +524,14 @@ class Deployment:
         executor = CleanupExecutor(self.join.stream_names, self.cost,
                                    window=self.join.window,
                                    tracer=self.metrics.tracer)
+        # Once the run repartitioned, segments spilled under a retired
+        # parent pid must be re-bucketed by the final routing table (the
+        # splits converge, so any one's route function is authoritative).
+        final_split = next(iter(self.splits.values()))
+        route = final_split.route if final_split.refinement else None
         report = executor.run(
-            self.disks, self.memory_parts(), materialize=materialize
+            self.disks, self.memory_parts(), materialize=materialize,
+            route=route,
         )
         self.metrics.events.record(
             self.sim.now,

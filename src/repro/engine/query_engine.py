@@ -47,6 +47,16 @@ from repro.core.relocation import (
     StatsReport,
     TransferRequest,
 )
+from repro.core.repartition import (
+    MergeOrder,
+    RepartitionAck,
+    RepartitionInstalled,
+    RepartitionPause,
+    RepartitionPaused,
+    RepartitionRemap,
+    RepartitionResumed,
+    SplitOrder,
+)
 from repro.core.spill import SpillExecutor, SpillOutcome
 from repro.engine.operators.mjoin import MJoinInstance
 from repro.recovery.protocol import (
@@ -131,6 +141,8 @@ class QueryEngine:
         )
         self._pending_cptv: CptvRequest | None = None
         self._pending_transfer: TransferRequest | None = None
+        #: an accepted split/merge order waiting for its markers to drain
+        self._pending_repartition: SplitOrder | MergeOrder | None = None
         #: the transfer whose pack task is submitted; an ``abort_transfer``
         #: clears it, turning a queued-but-not-started pack into a no-op
         self._active_transfer: TransferRequest | None = None
@@ -235,6 +247,7 @@ class QueryEngine:
         self._pending_cptv = None
         self._pending_transfer = None
         self._active_transfer = None
+        self._pending_repartition = None
         self._forced_spill_reply_to = None
         self._markers_seen.clear()
         self.mode = MODE_NORMAL
@@ -555,6 +568,7 @@ class QueryEngine:
             def finish() -> None:
                 self._markers_seen.add(marker.host)
                 self._maybe_pack_state()
+                self._maybe_execute_repartition()
 
             return 0.0, finish
 
@@ -705,6 +719,116 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------
+    # Repartition protocol (split/merge), owner side
+    # ------------------------------------------------------------------
+    def _on_csplit(self, message: Message) -> None:
+        order: SplitOrder = message.payload
+        self._begin_repartition(order, pids=(order.parent,))
+
+    def _on_cmerge(self, message: Message) -> None:
+        order: MergeOrder = message.payload
+        self._begin_repartition(order, pids=order.children)
+
+    def _begin_repartition(self, order, pids) -> None:
+        """Validate a split/merge order against the live store and mode.
+
+        The GC decides from statistics reports that may be a beat stale: a
+        group can have relocated away, or the engine can be mid-spill.
+        Rejects are cheap — nothing was paused yet."""
+        store = self.instance.store
+        if self.mode != MODE_NORMAL:
+            self._send_gc(
+                "repartition_ack",
+                RepartitionAck(self.name, False, reason="engine_busy"),
+            )
+            return
+        if any(pid not in store for pid in pids):
+            self._send_gc(
+                "repartition_ack",
+                RepartitionAck(self.name, False, reason="stale_target"),
+            )
+            return
+        self.mode = MODE_SR
+        self._pending_repartition = order
+        self._markers_seen.clear()
+        self._send_gc("repartition_ack", RepartitionAck(self.name, True))
+
+    def _maybe_execute_repartition(self) -> None:
+        order = self._pending_repartition
+        if order is None:
+            return
+        if not set(order.marker_hosts) <= self._markers_seen:
+            return
+        self._pending_repartition = None
+        self._markers_seen.clear()
+
+        def begin():
+            store = self.instance.store
+            now = self.sim.now
+            if isinstance(order, SplitOrder):
+                modulus, depth = order.modulus, order.depth
+                new_groups = store.split_group(
+                    order.parent,
+                    order.children,
+                    lambda key: (key // modulus >> depth) & 1,
+                    now=now,
+                )
+                reason = "split"
+            else:
+                merged = store.merge_groups(order.children, order.parent, now=now)
+                new_groups = (merged,)
+                reason = "merge"
+            total = sum(f.size_bytes for f in new_groups)
+            # the rebuild re-serialises the state once through the
+            # evict/install funnel
+            duration = total * self.cost.serialize_cost_per_byte
+            tracer = self.metrics.tracer
+            if tracer.enabled and order.trace_span:
+                for f in new_groups:
+                    tracer.event(
+                        "repartition.install",
+                        machine=self.name,
+                        span=order.trace_span,
+                        pid=f.pid,
+                        bytes=f.size_bytes,
+                        tuples=f.tuple_count,
+                    )
+
+            def committed() -> None:
+                if self.checkpointer is not None:
+                    # the routing topology flips durably with the commit
+                    # that registered the new pids and dropped the old
+                    if reason == "split":
+                        self.checkpointer.registry.note_split(
+                            order.parent, order.children
+                        )
+                    else:
+                        self.checkpointer.registry.note_merge(order.parent)
+                self.mode = MODE_NORMAL
+                self._send_gc(
+                    "rinstalled",
+                    RepartitionInstalled(
+                        machine=self.name,
+                        parent=order.parent,
+                        children=tuple(order.children),
+                        total_bytes=total,
+                    ),
+                )
+                self._resume_pending_cptv()
+
+            if self.checkpointer is not None:
+                # Commit before acking: receipt of ``rinstalled`` at the GC
+                # then *implies* the registry flip is durable, which is the
+                # witness its crash handling relies on.
+                self.checkpointer.commit(reason, on_committed=committed)
+                return duration, (lambda: None)
+            return duration, committed
+
+        # Data priority: queues behind every already-delivered tuple batch,
+        # so pre-pause tuples probe the parent before it is rebuilt.
+        self.machine.submit(DynamicTask(begin, label="repartition"))
+
+    # ------------------------------------------------------------------
     # Recovery protocol, restore-target side
     # ------------------------------------------------------------------
     def _on_restore(self, message: Message) -> None:
@@ -761,17 +885,34 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _report_stats(self) -> None:
         self.controller.observe()
-        outputs = self.instance.store.outputs_total
+        store = self.instance.store
+        outputs = store.outputs_total
         delta = outputs - self._outputs_reported
         self._outputs_reported = outputs
+        max_bytes, max_pid = 0, -1
+        small: tuple[tuple[int, int], ...] = ()
+        if self.config.repartition_enabled:
+            # Still only aggregates: the single largest group (split
+            # candidate) and a bounded tail of the smallest (merge
+            # candidates) — never the full per-partition detail.
+            sizes = sorted(
+                (store.peek(pid).size_bytes, pid)
+                for pid in store.partition_ids()
+            )
+            if sizes:
+                max_bytes, max_pid = max(sizes, key=lambda x: (x[0], -x[1]))
+                small = tuple((pid, size) for size, pid in sizes[:8])
         report = StatsReport(
             machine=self.name,
-            state_bytes=self.instance.store.total_bytes,
+            state_bytes=store.total_bytes,
             outputs_delta=delta,
-            group_count=self.instance.store.group_count,
+            group_count=store.group_count,
             queue_depth=self.machine.queue_depth,
             sent_at=self.sim.now,
             incarnation=self.incarnation,
+            max_group_bytes=max_bytes,
+            max_group_pid=max_pid,
+            small_groups=small,
         )
         self._send_gc("stats", report)
 
@@ -1021,6 +1162,115 @@ class SourceHost:
         if flushed:
             self._forward(flushed)
         self._send_gc("resumed", ResumeAck(host=self.name))
+
+    # ------------------------------------------------------------------
+    # Repartition protocol (split-host side)
+    # ------------------------------------------------------------------
+    def _on_rpause(self, message: Message) -> None:
+        request: RepartitionPause = message.payload
+        for split in self.splits.values():
+            split.pause(request.partition_ids)
+        tracer = self.metrics.tracer
+        if tracer.enabled and request.trace_span:
+            tracer.event(
+                "repartition.pause",
+                machine=self.name,
+                span=request.trace_span,
+                pids=request.partition_ids,
+            )
+        # Drain marker down the data link to the owner (FIFO behind all
+        # previously forwarded batches), then ack the coordinator.
+        self.network.send(
+            self.name, request.sender, "marker", Marker(host=self.name),
+            self.cost.control_message_bytes,
+        )
+        self._send_gc("rpaused", RepartitionPaused(host=self.name))
+
+    def _on_rremap(self, message: Message) -> None:
+        """Flip the routing table for a completed split/merge and flush.
+
+        The refinement entry, the partition-map edit and the buffer
+        re-route happen inside one ``apply_split``/``apply_merge`` call —
+        no tuple can observe a half-flipped table.  Re-delivery (the GC
+        re-sends after losing an ack) is detected via the refinement state
+        and degrades to a bare ack."""
+        request: RepartitionRemap = message.payload
+        children = tuple(request.children)
+        first = next(iter(self.splits.values()))
+        if request.kind == "split":
+            fresh = request.parent not in first.refinement
+        else:
+            fresh = first.refinement.get(request.parent) == children
+        flushed: list[tuple[str, int, StreamTuple]] = []
+        if fresh:
+            for split in self.splits.values():
+                if request.kind == "split":
+                    out = split.apply_split(request.parent, children, request.owner)
+                else:
+                    out = split.apply_merge(request.parent, children, request.owner)
+                for pid, owner, tup in out:
+                    flushed.append((owner, pid, tup))
+            self._rebucket_replay_log(request)
+            tracer = self.metrics.tracer
+            if tracer.enabled and request.trace_span:
+                retired = (
+                    (request.parent,) if request.kind == "split" else children
+                )
+                tracer.event(
+                    "repartition.route",
+                    machine=self.name,
+                    span=request.trace_span,
+                    kind=request.kind,
+                    parent=request.parent,
+                    children=children,
+                    version=first.routing_version,
+                )
+                for pid in retired:
+                    tracer.event(
+                        "repartition.retire",
+                        machine=self.name,
+                        span=request.trace_span,
+                        pid=pid,
+                    )
+                tracer.event(
+                    "repartition.flush",
+                    machine=self.name,
+                    span=request.trace_span,
+                    pids=(
+                        children if request.kind == "split"
+                        else (request.parent,)
+                    ),
+                    flushed=len(flushed),
+                )
+        if flushed:
+            self._forward(flushed)
+        self._send_gc("rresumed", RepartitionResumed(host=self.name))
+
+    def _rebucket_replay_log(self, request: RepartitionRemap) -> None:
+        """Move replay-log entries of retired pids under their successors.
+
+        The log must always be keyed by the *current* routing function:
+        recovery replays per-pid suffixes, and a suffix parked under a
+        retired pid would never be replayed.  Split re-routes the parent's
+        entries through the refined table (arrival order preserved per
+        child); merge interleaves the children's entries by
+        ``(ts, stream, seq)`` — the same deterministic order the buffer
+        flush uses."""
+        if not self.keep_replay_log:
+            return
+        route = next(iter(self.splits.values())).route
+        if request.kind == "split":
+            log = self._replay_log.pop(request.parent, None)
+            if log:
+                for tup in log:
+                    self._replay_log.setdefault(route(tup.key), []).append(tup)
+        else:
+            merged: list[StreamTuple] = []
+            for child in request.children:
+                merged.extend(self._replay_log.pop(child, ()))
+            if merged:
+                merged.sort(key=lambda t: (t.ts, t.stream, t.seq))
+                self._replay_log.setdefault(request.parent, []).extend(merged)
 
     # ------------------------------------------------------------------
     # Recovery protocol (split-host side, repro.recovery)

@@ -578,6 +578,48 @@ class StateStore:
         self._touch(frozen.pid)
         return grp
 
+    def split_group(
+        self, parent: int, children: tuple[int, int], chooser,
+        *, now: float = 0.0,
+    ) -> tuple[FrozenPartitionGroup, FrozenPartitionGroup]:
+        """Split one live group into two child groups in place (repartition).
+
+        The parent is evicted (its snapshot taken zero-copy on columnar
+        stores) and the two child snapshots produced by ``chooser`` are
+        installed immediately, so the memory-accounting invariant holds at
+        the call boundary and both children flow through the standard
+        :meth:`install` funnel — fresh mutation counters, victim-heap
+        marks, and generation bookkeeping included.  Returns the two child
+        snapshots (the checkpoint payloads of the ``split`` commit).
+        """
+        if parent not in self._groups:
+            raise KeyError(f"cannot split partition {parent}: not live here")
+        (frozen,) = self.evict([parent])
+        from repro.engine.partitions import split_frozen
+
+        child0, child1 = split_frozen(frozen, children, chooser)
+        self.install(child0, now=now)
+        self.install(child1, now=now)
+        return child0, child1
+
+    def merge_groups(
+        self, children: tuple[int, int], parent: int, *, now: float = 0.0,
+    ) -> FrozenPartitionGroup:
+        """Fold two live sibling groups back into their parent (repartition).
+
+        Inverse of :meth:`split_group`, through the same evict/install
+        funnel.  Returns the merged parent snapshot.
+        """
+        for child in children:
+            if child not in self._groups:
+                raise KeyError(f"cannot merge partition {child}: not live here")
+        frozen = self.evict(children)
+        from repro.engine.partitions import merge_frozen
+
+        merged = merge_frozen(parent, frozen)
+        self.install(merged, now=now)
+        return merged
+
     def purge_window(self, horizon: float) -> int:
         """Drop tuples with ``ts < horizon`` from every live group,
         releasing their memory.  Returns the number of tuples purged.

@@ -31,10 +31,17 @@ adaptation protocols, independent of any particular workload:
 7. **Recovery phase order** — every recovery session walks
    pausing → restoring → rerouting without skipping backwards.
 8. **Ledger ↔ trace bijection** (when a decision ledger was recorded) —
-   every ``spill``/``relocation`` span is justified by exactly one
-   executed ledger entry and vice versa, and every entry's recorded rule
-   inputs reproduce its decision when re-evaluated offline
+   every ``spill``/``relocation``/``repartition`` span is justified by
+   exactly one executed ledger entry and vice versa, and every entry's
+   recorded rule inputs reproduce its decision when re-evaluated offline
    (:meth:`InvariantChecker.check_ledger`).
+9. **Single residency under split/merge** — a repartition session's new
+   group(s) install on exactly one live machine; every source host's
+   routing flip names the same parent → children refinement (no key can
+   route to two live groups); the old pid(s) retire only *after* every
+   new group installed; a completed session installed exactly its
+   ordered children (split) or parent (merge), retired exactly the
+   replaced pid(s), and flushed each host's pause buffer exactly once.
 
 ``check_trace(events)`` returns a list of :class:`Violation`; an empty
 list means the trace upholds every contract.  The checker needs only the
@@ -93,6 +100,31 @@ class _RecoveryState:
     status: str | None = None
 
 
+@dataclass
+class _RepartitionState:
+    span: int
+    kind: str  # "split" | "merge"
+    owner: str
+    parent: int
+    children: tuple[int, ...]
+    pauses: int = 0
+    flushes: int = 0
+    last_pause_seq: int = -1
+    installs: set[int] = field(default_factory=set)
+    retires: set[int] = field(default_factory=set)
+    status: str | None = None
+    #: aborted with splits left paused for a recovery session to resume
+    pause_handoff: bool = False
+
+    @property
+    def expected_installs(self) -> set[int]:
+        return set(self.children) if self.kind == "split" else {self.parent}
+
+    @property
+    def expected_retires(self) -> set[int]:
+        return {self.parent} if self.kind == "split" else set(self.children)
+
+
 class InvariantChecker:
     """Replays a trace event stream and accumulates violations."""
 
@@ -107,10 +139,19 @@ class InvariantChecker:
         self._dead: set[str] = set()
         self._relocations: dict[int, _RelocationState] = {}
         self._recoveries: dict[int, _RecoveryState] = {}
+        self._repartitions: dict[int, _RepartitionState] = {}
         # (stage, pid) -> spill count / merge count / skip count
         self._spilled: dict[tuple[str, int], int] = {}
         self._merged: dict[tuple[str, int], int] = {}
         self._skipped: dict[tuple[str, int], int] = {}
+        # final routing refinement per stage: (stage, parent) -> children.
+        # A segment spilled under a later-split pid re-buckets to the
+        # refinement's leaves during cleanup, so spill/cleanup matching
+        # resolves pids through this trie.
+        self._refinement: dict[tuple[str, int], tuple[int, ...]] = {}
+        # (stage, child) -> parent for merged-away groups: a child's disk
+        # bytes route to the surviving parent after the merge
+        self._merge_redirect: dict[tuple[str, int], int] = {}
         self._cleanup_ran_stages: set[str] = set()
         # spill/relocation begin events, kept for check_ledger (check 8)
         self._adaptation_spans: list[TraceEvent] = []
@@ -133,12 +174,22 @@ class InvariantChecker:
         self._check_dead_epoch(e)
 
         if e.phase == PHASE_BEGIN:
-            if e.name in ("relocation", "spill"):
+            if e.name in ("relocation", "spill", "repartition"):
                 self._adaptation_spans.append(e)
             if e.name == "relocation":
                 self._relocations[e.span] = _RelocationState(e.span, e.machine)
             elif e.name == "recovery":
                 self._recoveries[e.span] = _RecoveryState(e.span)
+            elif e.name == "repartition":
+                # the replaced pid travels as "parent_pid" ("parent" is the
+                # tracer's span-hierarchy field)
+                self._repartitions[e.span] = _RepartitionState(
+                    e.span,
+                    str(e.get("kind", "")),
+                    str(e.get("owner", "")),
+                    int(e.get("parent_pid", -1)),
+                    tuple(int(c) for c in e.get("children", ())),
+                )
             elif e.name == "spill":
                 self._on_spill(e)
             elif e.name == "cleanup":
@@ -150,6 +201,10 @@ class InvariantChecker:
                 state.pause_handoff = bool(e.get("pause_handoff", False))
             elif e.span in self._recoveries and e.name == "recovery":
                 self._recoveries[e.span].status = str(e.get("status", ""))
+            elif e.span in self._repartitions and e.name == "repartition":
+                state = self._repartitions[e.span]
+                state.status = str(e.get("status", ""))
+                state.pause_handoff = bool(e.get("pause_handoff", False))
         elif e.phase == PHASE_INSTANT:
             handler = {
                 "deploy.assignment": self._on_assignment,
@@ -165,6 +220,11 @@ class InvariantChecker:
                 "recovery.phase": self._on_recovery_phase,
                 "recovery.restore": self._on_restore,
                 "recovery.replay": self._on_replay,
+                "repartition.pause": self._on_repartition_pause,
+                "repartition.install": self._on_repartition_install,
+                "repartition.route": self._on_repartition_route,
+                "repartition.retire": self._on_repartition_retire,
+                "repartition.flush": self._on_repartition_flush,
             }.get(e.name)
             if handler is not None:
                 handler(e)
@@ -387,6 +447,125 @@ class InvariantChecker:
                 )
 
     # ------------------------------------------------------------------
+    # Repartition protocol (check 9)
+    # ------------------------------------------------------------------
+    def _repartition_for(self, e: TraceEvent) -> _RepartitionState | None:
+        if e.span is None or e.span not in self._repartitions:
+            self._fail(
+                "repartition-protocol",
+                f"{e.name!r} event outside any repartition span",
+                e,
+            )
+            return None
+        return self._repartitions[e.span]
+
+    def _on_repartition_pause(self, e: TraceEvent) -> None:
+        state = self._repartition_for(e)
+        if state is None:
+            return
+        state.pauses += 1
+        state.last_pause_seq = e.seq
+
+    def _on_repartition_install(self, e: TraceEvent) -> None:
+        state = self._repartition_for(e)
+        if state is None:
+            return
+        stage = self._stage(e.machine, e)
+        pid = int(e.get("pid", -1))
+        if pid not in state.expected_installs:
+            self._fail(
+                "repartition-protocol",
+                f"repartition span {state.span} installed pid {pid}, which is "
+                f"not among its new group(s) {sorted(state.expected_installs)}",
+                e,
+            )
+        key = (stage, pid)
+        holder = self._resident.get(key)
+        if holder is not None and holder != e.machine and holder not in self._dead:
+            self._fail(
+                "single-residency",
+                f"repartition installed partition {key} on {e.machine!r} "
+                f"while still live on {holder!r}",
+                e,
+            )
+        self._resident[key] = e.machine
+        state.installs.add(pid)
+        # the replaced group(s) dissolve with the rebuild on the owner
+        for old in state.expected_retires:
+            okey = (stage, old)
+            if self._resident.get(okey) == e.machine:
+                del self._resident[okey]
+
+    def _on_repartition_route(self, e: TraceEvent) -> None:
+        state = self._repartition_for(e)
+        if state is None:
+            return
+        kind = str(e.get("kind", ""))
+        parent = int(e.get("parent", -1))
+        children = tuple(int(c) for c in e.get("children", ()))
+        if (kind, parent, children) != (state.kind, state.parent, state.children):
+            self._fail(
+                "repartition-routing",
+                f"repartition span {state.span}: host {e.machine!r} flipped "
+                f"routing to {kind} {parent} -> {children}, session ordered "
+                f"{state.kind} {state.parent} -> {state.children} (a key "
+                f"could route to two live groups)",
+                e,
+            )
+            return
+        stage = self._stage(e.machine, e)
+        if kind == "split":
+            self._refinement[(stage, parent)] = children
+            self._merge_redirect.pop((stage, parent), None)
+        else:
+            self._refinement.pop((stage, parent), None)
+            for child in children:
+                self._merge_redirect[(stage, child)] = parent
+
+    def _on_repartition_retire(self, e: TraceEvent) -> None:
+        state = self._repartition_for(e)
+        if state is None:
+            return
+        pid = int(e.get("pid", -1))
+        if pid not in state.expected_retires:
+            self._fail(
+                "repartition-protocol",
+                f"repartition span {state.span} retired pid {pid}, which is "
+                f"not among its replaced group(s) "
+                f"{sorted(state.expected_retires)}",
+                e,
+            )
+            return
+        if not state.installs >= state.expected_installs:
+            self._fail(
+                "repartition-protocol",
+                f"repartition span {state.span}: pid {pid} retired before the "
+                f"new group(s) installed ({sorted(state.installs)} of "
+                f"{sorted(state.expected_installs)})",
+                e,
+            )
+        state.retires.add(pid)
+
+    def _on_repartition_flush(self, e: TraceEvent) -> None:
+        state = self._repartition_for(e)
+        if state is None:
+            return
+        state.flushes += 1
+        if state.flushes > state.pauses:
+            self._fail(
+                "pause-flush",
+                f"repartition span {state.span}: flushed more times than "
+                f"paused ({state.flushes} > {state.pauses})",
+                e,
+            )
+        if e.seq < state.last_pause_seq:
+            self._fail(
+                "pause-flush",
+                f"repartition span {state.span}: flush before pause",
+                e,
+            )
+
+    # ------------------------------------------------------------------
     # End-of-trace checks
     # ------------------------------------------------------------------
     def finish(self) -> list[Violation]:
@@ -394,6 +573,8 @@ class InvariantChecker:
             self._finish_relocation(state)
         for state in self._recoveries.values():
             self._finish_recovery(state)
+        for state in self._repartitions.values():
+            self._finish_repartition(state)
         self._finish_spill_cleanup()
         return self.violations
 
@@ -432,11 +613,46 @@ class InvariantChecker:
                 f"recovery span {state.span} completed without phase events",
             )
 
+    def _finish_repartition(self, state: _RepartitionState) -> None:
+        if state.status == "done":
+            if state.installs != state.expected_installs:
+                self._fail(
+                    "repartition-protocol",
+                    f"repartition span {state.span} ({state.kind}) completed "
+                    f"with installs {sorted(state.installs)}, expected "
+                    f"{sorted(state.expected_installs)}",
+                )
+            if state.retires != state.expected_retires:
+                self._fail(
+                    "repartition-protocol",
+                    f"repartition span {state.span} ({state.kind}) completed "
+                    f"with retires {sorted(state.retires)}, expected "
+                    f"{sorted(state.expected_retires)}",
+                )
+            if state.pauses < 1 or state.pauses != state.flushes:
+                self._fail(
+                    "pause-flush",
+                    f"repartition span {state.span} completed with "
+                    f"{state.pauses} pauses / {state.flushes} flushes "
+                    f"(expected one flush per pause, at least one host)",
+                )
+        elif state.pause_handoff:
+            # the owner died mid-session; the pause buffers are discharged
+            # by the recovery session's reroute, not by this session
+            pass
+        elif state.pauses != state.flushes:
+            self._fail(
+                "pause-flush",
+                f"repartition span {state.span} ({state.status or 'unclosed'})"
+                f" paused {state.pauses}x but flushed {state.flushes}x",
+            )
+
     # ------------------------------------------------------------------
     # Check 8: ledger ↔ trace bijection (call after feed())
     # ------------------------------------------------------------------
     def check_ledger(self, entries) -> list[Violation]:
-        """Every spill/relocation span ↔ exactly one executed ledger entry,
+        """Every spill/relocation/repartition span ↔ exactly one executed
+        ledger entry,
         and every entry replays to its recorded decision.  ``entries`` are
         :class:`~repro.obs.ledger.DecisionLedger` entries (live or loaded
         from JSONL).  Returns the new violations (also accumulated)."""
@@ -448,6 +664,20 @@ class InvariantChecker:
         self.violations.extend(found)
         return found
 
+    def _routing_leaves(self, stage: str, pid: int) -> list[int]:
+        """Pids a partition's disk bytes resolve to under the final
+        routing: itself when unrefined, otherwise the refinement leaves
+        its keys re-bucket into during cleanup."""
+        while (stage, pid) in self._merge_redirect:
+            pid = self._merge_redirect[(stage, pid)]
+        children = self._refinement.get((stage, pid))
+        if children is None:
+            return [pid]
+        leaves: list[int] = []
+        for child in children:
+            leaves.extend(self._routing_leaves(stage, child))
+        return leaves
+
     def _finish_spill_cleanup(self) -> None:
         if not self._cleanup_ran_stages:
             return  # cleanup never ran; nothing to match against
@@ -455,7 +685,15 @@ class InvariantChecker:
             stage, pid = key
             if stage not in self._cleanup_ran_stages:
                 continue
-            if not self._merged.get(key) and not self._skipped.get(key):
+            # an unrefined pid must itself be merged or skipped; a refined
+            # one re-buckets into its leaves, and only leaves that received
+            # keys surface in cleanup, so any handled leaf discharges it
+            handled = any(
+                self._merged.get((stage, leaf))
+                or self._skipped.get((stage, leaf))
+                for leaf in self._routing_leaves(stage, pid)
+            )
+            if not handled:
                 self._fail(
                     "spill-cleanup",
                     f"partition {key} spilled {self._spilled[key]}x but cleanup "

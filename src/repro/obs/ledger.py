@@ -54,6 +54,7 @@ KIND_GC_TICK = "gc_tick"
 KIND_OVERFLOW_CHECK = "overflow_check"
 KIND_CLUSTER_GC = "cluster_gc"
 KIND_ADMISSION = "admission"
+KIND_REPARTITION = "repartition"
 
 #: actions (``none`` marks a tick that chose to do nothing)
 ACTION_RELOCATE = "relocate"
@@ -63,14 +64,18 @@ ACTION_NONE = "none"
 ACTION_ADMIT = "admit"
 ACTION_REJECT = "reject"
 ACTION_FOLD = "fold"
+ACTION_SPLIT = "split"
+ACTION_MERGE = "merge"
 
 #: which trace-span name each executed action must be justified by.
-#: Actions absent here (admission verdicts, idle ticks) never produce a
-#: spill/relocation span and are exempt from the bijection.
+#: Actions absent here (admission verdicts, idle ticks) never produce an
+#: adaptation span and are exempt from the bijection.
 _SPAN_NAME_FOR_ACTION = {
     ACTION_RELOCATE: "relocation",
     ACTION_FORCED_SPILL: "spill",
     ACTION_SPILL: "spill",
+    ACTION_SPLIT: "repartition",
+    ACTION_MERGE: "repartition",
 }
 
 
@@ -318,6 +323,65 @@ def _replay_cluster_gc(inputs: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _replay_repartition(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of :func:`repro.core.repartition.evaluate_repartition`'s
+    rule cascade over recorded (JSON-typed) inputs.  Duplicated rather
+    than imported: the obs layer must not depend on the core package."""
+    if inputs["now"] - inputs["last_repartition_time"] < inputs["tau_p"]:
+        return {"action": ACTION_NONE, "rule": "tau_p"}
+    depths = {int(k): v for k, v in inputs.get("depths", {}).items()}
+    refinement = [tuple(node) for node in inputs.get("refinement", ())]
+    refined = {parent for parent, _, _ in refinement}
+    max_depth = inputs.get("max_depth", 16)
+    # Rule 1 — split the hot group most above the cluster-wide average
+    # group size; (bytes, machine) tie-break.
+    total_bytes = sum(r["state_bytes"] for r in inputs["reports"])
+    total_groups = sum(r["group_count"] for r in inputs["reports"])
+    avg_group = total_bytes / total_groups if total_groups else 0.0
+    best = None
+    for r in inputs["reports"]:
+        if r["max_group_pid"] < 0:
+            continue
+        if r["max_group_bytes"] < inputs["split_min_bytes"]:
+            continue
+        if r["max_group_bytes"] <= inputs["split_skew_factor"] * avg_group:
+            continue
+        if depths.get(r["max_group_pid"], 0) >= max_depth:
+            continue
+        if best is None or (r["max_group_bytes"], r["machine"]) > (
+            best["max_group_bytes"],
+            best["machine"],
+        ):
+            best = r
+    if best is not None:
+        nxt = inputs["next_child_pid"]
+        return {
+            "action": ACTION_SPLIT,
+            "machine": best["machine"],
+            "parent": best["max_group_pid"],
+            "children": [nxt, nxt + 1],
+        }
+    # Rule 2 — fold the first co-resident cold leaf sibling pair, scanning
+    # reports in worker order and refinements in sorted-parent order.
+    for r in inputs["reports"]:
+        small = {pid: size for pid, size in r["small_groups"]}
+        for parent, c0, c1 in refinement:
+            if c0 in refined or c1 in refined:
+                continue
+            if (
+                c0 in small
+                and c1 in small
+                and small[c0] + small[c1] <= inputs["merge_max_bytes"]
+            ):
+                return {
+                    "action": ACTION_MERGE,
+                    "machine": r["machine"],
+                    "parent": parent,
+                    "children": [c0, c1],
+                }
+    return {"action": ACTION_NONE}
+
+
 def _replay_admission(inputs: dict[str, Any]) -> dict[str, Any]:
     """Mirror of :meth:`repro.serving.server.QueryServer.submit`'s
     admission cascade over recorded inputs."""
@@ -347,6 +411,8 @@ def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
         return _replay_cluster_gc(entry["inputs"])
     if entry["kind"] == KIND_ADMISSION:
         return _replay_admission(entry["inputs"])
+    if entry["kind"] == KIND_REPARTITION:
+        return _replay_repartition(entry["inputs"])
     raise ValueError(f"unknown ledger entry kind {entry['kind']!r}")
 
 
@@ -369,7 +435,7 @@ def verify_replay(entries: Iterable[dict[str, Any]]) -> list[Violation]:
                 )
             )
             continue
-        for key in ("sender", "receiver", "machine", "amount"):
+        for key in ("sender", "receiver", "machine", "amount", "parent", "children"):
             if key in replayed and entry["inputs"].get(f"chosen_{key}") not in (
                 None,
                 replayed[key],
@@ -405,13 +471,15 @@ def check_ledger_trace(
     entries: Iterable[dict[str, Any]],
 ) -> list[Violation]:
     """Assert the span↔entry mapping is bijective: every ``spill`` /
-    ``relocation`` trace span is justified by exactly one executed ledger
-    entry, and every executed entry points at exactly one span of the
-    right name."""
+    ``relocation`` / ``repartition`` trace span is justified by exactly
+    one executed ledger entry, and every executed entry points at exactly
+    one span of the right name."""
     violations = []
     spans: dict[int, TraceEvent] = {}
     for event in events:
-        if event.phase == PHASE_BEGIN and event.name in ("spill", "relocation"):
+        if event.phase == PHASE_BEGIN and event.name in (
+            "spill", "relocation", "repartition",
+        ):
             spans[event.span] = event
     claimed: dict[int, int] = {}  # span id -> entry id
     for entry in entries:
@@ -439,7 +507,7 @@ def check_ledger_trace(
                     check="ledger_trace",
                     message=(
                         f"ledger entry {entry['id']} points at span "
-                        f"{span_id}, which is not a spill/relocation span "
+                        f"{span_id}, which is not an adaptation span "
                         f"in the trace"
                     ),
                     seq=entry["id"],

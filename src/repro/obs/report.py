@@ -35,7 +35,13 @@ __all__ = [
 ]
 
 #: glyph column rendered under a timeline, one per decision action
-_MARKS = {"relocate": "R", "forced_spill": "F", "spill": "S"}
+_MARKS = {
+    "relocate": "R",
+    "forced_spill": "F",
+    "spill": "S",
+    "split": "P",
+    "merge": "M",
+}
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 _CHART_WIDTH = 64
@@ -187,6 +193,49 @@ def _why_cluster_gc(inputs: dict[str, Any]) -> str:
     )
 
 
+def _why_repartition(
+    action: str, inputs: dict[str, Any], realized: dict[str, Any]
+) -> str:
+    machine = inputs.get("chosen_machine")
+    parent = inputs.get("chosen_parent")
+    children = inputs.get("chosen_children", [])
+    report = next(
+        (r for r in inputs.get("reports", []) if r.get("machine") == machine),
+        {},
+    )
+    if action == "split":
+        reports = inputs.get("reports", [])
+        total_bytes = sum(r.get("state_bytes", 0) for r in reports)
+        total_groups = sum(r.get("group_count", 0) for r in reports)
+        avg = total_bytes / total_groups if total_groups else 0.0
+        sentence = (
+            f"split group {parent} on {machine} into "
+            f"{tuple(children)} because it dominates the cluster: "
+            f"{_fmt_bytes(report.get('max_group_bytes', 0))} > "
+            f"split_skew_factor = "
+            f"{_fmt_num(inputs.get('split_skew_factor', 0))} x average "
+            f"group size {_fmt_bytes(avg)}"
+        )
+    else:
+        small = dict(
+            (pid, size) for pid, size in report.get("small_groups", [])
+        )
+        total = sum(small.get(c, 0) for c in children)
+        sentence = (
+            f"merged cold siblings {tuple(children)} on {machine} back into "
+            f"group {parent}: together {_fmt_bytes(total)} <= "
+            f"merge_max_bytes = {_fmt_bytes(inputs.get('merge_max_bytes', 0))}"
+        )
+    if realized.get("status") == "aborted":
+        sentence += f"; aborted ({realized.get('reason', 'unknown')})"
+    elif "bytes_rebuilt" in realized:
+        sentence += (
+            f"; rebuilt {_fmt_bytes(realized['bytes_rebuilt'])} in "
+            f"{_fmt_num(realized.get('duration', 0))}s"
+        )
+    return sentence
+
+
 def why(decision: dict[str, Any]) -> str:
     """One plain-English sentence explaining a ledger entry's decision,
     with the recorded numbers substituted into the rule that fired."""
@@ -200,6 +249,8 @@ def why(decision: dict[str, Any]) -> str:
         return _why_admission(action, rule, inputs)
     if kind == "cluster_gc" and action == "forced_spill":
         return _why_cluster_gc(inputs)
+    if kind == "repartition" and action in ("split", "merge"):
+        return _why_repartition(action, inputs, realized)
 
     if action == "relocate":
         elapsed = float(inputs.get("now", 0)) - float(
@@ -272,10 +323,10 @@ def why(decision: dict[str, Any]) -> str:
 
 
 def _decision_site(decision: dict[str, Any]) -> str:
-    if decision.get("kind") in ("gc_tick", "cluster_gc"):
+    if decision.get("kind") in ("gc_tick", "cluster_gc", "repartition"):
         if decision.get("action") == "relocate":
             return str(decision["inputs"].get("chosen_sender", ""))
-        if decision.get("action") == "forced_spill":
+        if decision.get("action") in ("forced_spill", "split", "merge"):
             return str(decision["inputs"].get("chosen_machine", ""))
         return ""
     return str(decision.get("site", ""))
@@ -446,6 +497,7 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
             lines.append("")
         lines.append(
             "Markers: `R` relocation, `S` spill, `F` forced spill, "
+            "`P` partition split, `M` partition merge, "
             "`*` several decisions in one column."
         )
         lines.append("")
@@ -548,7 +600,10 @@ def _svg_series(
         if mark is None:
             continue
         x = float(d.get("ts", 0)) / duration * w
-        color = {"R": "#c0392b", "S": "#2980b9", "F": "#8e44ad"}[mark]
+        color = {
+            "R": "#c0392b", "S": "#2980b9", "F": "#8e44ad",
+            "P": "#27ae60", "M": "#d35400",
+        }[mark]
         marks.append(
             f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" y2="{h}" '
             f'stroke="{color}" stroke-dasharray="2,2">'

@@ -113,6 +113,24 @@ class CheckpointStore:
         self.commits = 0
         self.entries_written = 0
         self.bytes_written = 0
+        #: durable routing topology: the refinement trie as of the last
+        #: committed split/merge (parent pid -> children) plus a version
+        #: counter.  Recorded by the owner in the same commit that
+        #: registers the child snapshots and drops the parent's, so crash
+        #: replay after a split re-homes the *children* — the registry's
+        #: pid set and its routing record can never disagree.
+        self.routing_version = 0
+        self.refinements: dict[int, tuple[int, int]] = {}
+
+    def note_split(self, parent: int, children: tuple[int, int]) -> None:
+        """Record a committed split's routing flip (owner side)."""
+        self.refinements[parent] = tuple(children)
+        self.routing_version += 1
+
+    def note_merge(self, parent: int) -> None:
+        """Record a committed merge's routing flip (owner side)."""
+        self.refinements.pop(parent, None)
+        self.routing_version += 1
 
     def record(
         self,

@@ -189,7 +189,7 @@ class TestMutationDetection:
         mutated = next(e for e in entries if e["id"] == executed[0]["id"])
         mutated["trace_span"] = 999_999
         violations = check_ledger_trace(tracer.events, entries)
-        assert any("not a spill/relocation span" in v.message
+        assert any("not an adaptation span" in v.message
                    for v in violations)
 
     def test_forged_inputs_fail_replay(self, run):
@@ -203,6 +203,122 @@ class TestMutationDetection:
             mutated["inputs"]["deferred"] = True
         violations = verify_replay(entries)
         assert any(v.seq == mutated["id"] for v in violations)
+
+
+class TestRepartitionLedger:
+    """Split/merge decisions: recorded, replayable, and forgery-proof."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.workloads.generator import PartitionWorkload
+        from repro.workloads.patterns import AlternatingPattern
+
+        parts = tuple(
+            PartitionWorkload(pid=i, join_rate=3.0, tuple_range=240,
+                              weight=(4.0 if i == 0 else 1.0))
+            for i in range(8)
+        )
+        tracer, ledger = Tracer(), DecisionLedger()
+        dep = Deployment(
+            join=three_way_join(window=10.0),
+            workload=WorkloadSpec(
+                n_partitions=8, partitions=parts, interarrival=0.05,
+                seed=11,
+                pattern=AlternatingPattern([{0}, frozenset()], period=30.0,
+                                           factor=6.0),
+            ),
+            workers=2,
+            config=AdaptationConfig(
+                strategy=StrategyName.LAZY_DISK,
+                memory_threshold=60_000,
+                theta_r=0.05, tau_m=10.0,
+                coordinator_interval=5.0, stats_interval=2.0,
+                ss_interval=2.0, min_relocation_bytes=1024,
+                repartition_enabled=True, split_skew_factor=2.5,
+                split_min_bytes=4_000, merge_max_bytes=6_000, tau_p=8.0,
+            ),
+            assignment={"m1": 1.0, "m2": 1.0},
+            tracer=tracer,
+            ledger=ledger,
+        )
+        dep.run(duration=120.0, sample_interval=15.0)
+        return dep, tracer, ledger
+
+    def split_entries(self, ledger):
+        return [e for e in ledger.entries
+                if e["kind"] == "repartition" and e["action"] == "split"]
+
+    def test_split_and_merge_decisions_recorded(self, run):
+        dep, _, ledger = run
+        actions = {e["action"] for e in ledger.entries
+                   if e["kind"] == "repartition"}
+        assert {"split", "merge"} <= actions
+        for entry in self.split_entries(ledger):
+            assert entry["rule"] == "skew"
+            assert entry["inputs"]["chosen_parent"] >= 0
+            assert len(entry["inputs"]["chosen_children"]) == 2
+
+    def test_replay_reproduces_repartition_decisions(self, run):
+        _, _, ledger = run
+        assert verify_replay(ledger.entries) == []
+        for entry in ledger.entries:
+            if entry["kind"] != "repartition":
+                continue
+            replayed = replay_decision(entry)
+            assert replayed["action"] == entry["action"]
+            assert replayed["parent"] == entry["inputs"]["chosen_parent"]
+            assert replayed["children"] == entry["inputs"]["chosen_children"]
+
+    def test_repartition_spans_bijective_with_trace(self, run):
+        _, tracer, ledger = run
+        assert check_ledger_trace(tracer.events, ledger.entries) == []
+
+    def test_forged_skew_inputs_fail_replay(self, run):
+        """Zeroing the reported group skew makes the recorded split
+        unjustifiable: replay decides 'none' and the verifier fires."""
+        _, _, ledger = run
+        entries = copy.deepcopy(ledger.entries)
+        mutated = next(e for e in entries
+                       if e["kind"] == "repartition"
+                       and e["action"] == "split")
+        for report in mutated["inputs"]["reports"]:
+            report["max_group_bytes"] = 0
+        violations = verify_replay(entries)
+        assert any(v.seq == mutated["id"]
+                   and "replay to 'none'" in v.message for v in violations)
+
+    def test_forged_child_pids_fail_replay(self, run):
+        """Shifting the child-pid allocator changes which pids the split
+        produces; the recorded children no longer replay."""
+        _, _, ledger = run
+        entries = copy.deepcopy(ledger.entries)
+        mutated = next(e for e in entries
+                       if e["kind"] == "repartition"
+                       and e["action"] == "split")
+        mutated["inputs"]["next_child_pid"] += 2
+        violations = verify_replay(entries)
+        assert any(v.seq == mutated["id"] and "children" in v.message
+                   for v in violations)
+
+    def test_forged_spacing_fails_replay(self, run):
+        """Backdating the tick inside the tau_p spacing window makes the
+        recorded decision one the rule cascade would have rejected."""
+        _, _, ledger = run
+        entries = copy.deepcopy(ledger.entries)
+        mutated = next(e for e in entries
+                       if e["kind"] == "repartition"
+                       and e["action"] in ("split", "merge"))
+        mutated["inputs"]["last_repartition_time"] = mutated["inputs"]["now"]
+        violations = verify_replay(entries)
+        assert any(v.seq == mutated["id"] for v in violations)
+
+    def test_dropped_repartition_entry_fires(self, run):
+        _, tracer, ledger = run
+        victim = self.split_entries(ledger)[0]
+        entries = [e for e in ledger.entries if e is not victim]
+        violations = check_ledger_trace(tracer.events, entries)
+        assert any("no justifying ledger entry" in v.message
+                   for v in violations)
 
 
 class TestZeroOverhead:

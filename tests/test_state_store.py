@@ -114,6 +114,115 @@ class TestInstall:
         assert nxt.generation == 2
 
 
+class TestSplitMerge:
+    """Accounting through the repartition funnel (split_group/merge_groups):
+    memory, mutation counters, output attribution and the lazy victim
+    index must all transfer to the new groups — a stale entry for a
+    retired pid would feed adaptation decisions from dissolved state."""
+
+    def populate(self, store, *, pid=0, keys=(1, 2, 3, 4), per_key=2):
+        seq = 0
+        for key in keys:
+            for __ in range(per_key):
+                for stream in STREAMS:
+                    store.probe_insert(pid, tup(stream, seq, key), now=1.0)
+                    seq += 1
+
+    def test_split_conserves_tuples_bytes_and_outputs(self, store, machine):
+        self.populate(store)
+        parent = store.state_of(0)
+        c0, c1 = store.split_group(0, (8, 9), lambda key: key % 2)
+        assert 0 not in store and 8 in store and 9 in store
+        assert c0.tuple_count + c1.tuple_count == parent.tuple_count
+        assert c0.output_count + c1.output_count == parent.output_count
+        # each child holds exactly its key-range half
+        assert all(key % 2 == 0 for s in STREAMS
+                   for key in c0.key_counts(s))
+        assert all(key % 2 == 1 for s in STREAMS
+                   for key in c1.key_counts(s))
+        # the split re-homes payload bytes intact; one extra group object
+        # exists now, so exactly one more group overhead is charged
+        assert (c0.size_bytes + c1.size_bytes
+                == parent.size_bytes + GROUP_OVERHEAD_BYTES)
+        assert store.total_bytes == machine.memory_used
+
+    def test_merge_restores_the_parent_exactly(self, store, machine):
+        self.populate(store)
+        before = canonical(store.state_of(0))
+        used = machine.memory_used
+        store.split_group(0, (8, 9), lambda key: key % 2)
+        merged = store.merge_groups((8, 9), 0)
+        assert canonical(merged) == before
+        assert canonical(store.state_of(0)) == before
+        assert machine.memory_used == used
+        assert store.total_bytes == machine.memory_used
+
+    def test_split_transfers_mutation_counters(self, store):
+        self.populate(store)
+        assert store.mutations.get(0)
+        store.split_group(0, (8, 9), lambda key: key % 2)
+        # the parent's dirty counter dies with its group; both children
+        # start dirty so the next incremental checkpoint snapshots them
+        assert 0 not in store.mutations
+        assert store.mutations.get(8) and store.mutations.get(9)
+
+    def test_split_refreshes_victim_index(self, store):
+        self.populate(store)
+        store.probe_insert(1, tup("A", 99, 5), now=1.0)
+        rows = store.productivity_snapshot()
+        assert {row[0] for row in rows} == {0, 1}
+        store.split_group(0, (8, 9), lambda key: key % 2)
+        rows = store.productivity_snapshot()
+        # no stale entry may surface the dissolved parent
+        assert {row[0] for row in rows} == {1, 8, 9}
+        assert 0 not in store.pick_victims("size_desc", 1 << 30)
+
+    def test_probe_joins_against_split_state(self, store):
+        for stream in ("B", "C"):
+            store.probe_insert(0, tup(stream, 0, 2), now=1.0)
+        store.split_group(0, (8, 9), lambda key: key % 2)
+        count, __ = store.probe_insert(8, tup("A", 1, 2), now=2.0)
+        assert count == 1  # the moved state still joins under the child
+
+    def test_split_then_evict_generation_orders_after_parent(self, store):
+        self.populate(store)
+        store.evict([0])  # generation 0 of the parent is on disk
+        self.populate(store)  # parent reborn as generation 1
+        store.split_group(0, (8, 9), lambda key: key % 2)
+        (frozen,) = store.evict([8])
+        assert frozen.generation == 1  # children inherit the parent's line
+
+    def test_split_missing_parent_raises(self, store):
+        with pytest.raises(KeyError):
+            store.split_group(42, (8, 9), lambda key: 0)
+
+    def test_merge_missing_child_raises(self, store):
+        self.populate(store)
+        store.split_group(0, (8, 9), lambda key: key % 2)
+        store.evict([9])
+        with pytest.raises(KeyError):
+            store.merge_groups((8, 9), 0)
+
+    def test_columnar_split_merge_matches_row_store(self, machine, sim):
+        row = StateStore(machine, STREAMS)
+        col = StateStore(Machine(sim, "mc"), STREAMS, columnar=True)
+        for s in (row, col):
+            self.populate(s)
+            s.split_group(0, (8, 9), lambda key: key % 2)
+        assert (canonical(row.state_of(8)) == canonical(col.state_of(8))
+                and canonical(row.state_of(9)) == canonical(col.state_of(9)))
+        for s in (row, col):
+            s.merge_groups((8, 9), 0)
+        assert canonical(row.state_of(0)) == canonical(col.state_of(0))
+        assert col.total_bytes == col.machine.memory_used
+
+
+def canonical(frozen):
+    from tests.helpers import canonical_frozen
+
+    return canonical_frozen(frozen)
+
+
 class TestProductivitySnapshot:
     def test_rows_sorted_ascending(self, store):
         # pid 0: large size, no output -> low productivity

@@ -267,6 +267,179 @@ def test_checker_flags_double_merge_and_forgotten_spill():
 
 
 # ----------------------------------------------------------------------
+# Repartition protocol (invariant 9): synthetic sessions + mutations
+# ----------------------------------------------------------------------
+
+
+def author_split_session(t, *, route_children=(8, 9), drop_install=None,
+                         retire_first=False):
+    """One complete split session 0 -> (8, 9), optionally corrupted."""
+    t.event("deploy.assignment", machine="m1", pids=(0,))
+    span = t.begin_span("repartition", machine="gc", kind="split",
+                        owner="m1", parent_pid=0, children=(8, 9))
+    t.event("repartition.pause", machine="src", span=span, pids=(0,))
+    if retire_first:
+        t.event("repartition.retire", machine="src", span=span, pid=0)
+    for pid in (8, 9):
+        if pid != drop_install:
+            t.event("repartition.install", machine="m1", span=span,
+                    pid=pid, bytes=128, tuples=2)
+    t.event("repartition.route", machine="src", span=span, kind="split",
+            parent=0, children=route_children, version=1)
+    if not retire_first:
+        t.event("repartition.retire", machine="src", span=span, pid=0)
+    t.event("repartition.flush", machine="src", span=span, pids=(8, 9),
+            flushed=0)
+    t.end_span(span, status="done")
+
+
+def test_checker_accepts_complete_split_session():
+    assert synthetic(author_split_session) == []
+
+
+def test_checker_accepts_complete_merge_session():
+    def author(t):
+        author_split_session(t)
+        span = t.begin_span("repartition", machine="gc", kind="merge",
+                            owner="m1", parent_pid=0, children=(8, 9))
+        t.event("repartition.pause", machine="src", span=span, pids=(8, 9))
+        t.event("repartition.install", machine="m1", span=span,
+                pid=0, bytes=256, tuples=4)
+        t.event("repartition.route", machine="src", span=span, kind="merge",
+                parent=0, children=(8, 9), version=2)
+        for pid in (8, 9):
+            t.event("repartition.retire", machine="src", span=span, pid=pid)
+        t.event("repartition.flush", machine="src", span=span, pids=(0,),
+                flushed=0)
+        t.end_span(span, status="done")
+
+    assert synthetic(author) == []
+
+
+def test_checker_flags_double_routed_key():
+    """A host flipping its routing to different children than the session
+    ordered would route keys of the divergent range to two live groups."""
+    violations = synthetic(
+        lambda t: author_split_session(t, route_children=(8, 10))
+    )
+    assert any(v.check == "repartition-routing" for v in violations)
+
+
+def test_checker_flags_early_parent_retire():
+    """Retiring the parent before both children installed loses the keys
+    arriving in between."""
+    violations = synthetic(
+        lambda t: author_split_session(t, retire_first=True)
+    )
+    assert any(v.check == "repartition-protocol"
+               and "retired before" in v.message for v in violations)
+
+
+def test_checker_flags_dropped_child_install():
+    """A done split session that never installed one child completed with
+    half the parent's state missing."""
+    violations = synthetic(
+        lambda t: author_split_session(t, drop_install=9)
+    )
+    assert any(v.check == "repartition-protocol"
+               and "completed with installs" in v.message
+               for v in violations)
+
+
+def test_checker_flags_install_on_second_machine():
+    """A child group installed on a machine other than the owner (while
+    the owner's copy is live) breaks single residency."""
+    def author(t):
+        t.event("deploy.assignment", machine="m1", pids=(0,))
+        span = t.begin_span("repartition", machine="gc", kind="split",
+                            owner="m1", parent_pid=0, children=(8, 9))
+        t.event("repartition.pause", machine="src", span=span, pids=(0,))
+        for machine in ("m1", "m2"):  # same child lands on both machines
+            t.event("repartition.install", machine=machine, span=span,
+                    pid=8, bytes=128, tuples=2)
+        t.event("repartition.install", machine="m1", span=span,
+                pid=9, bytes=128, tuples=2)
+        t.event("repartition.route", machine="src", span=span, kind="split",
+                parent=0, children=(8, 9), version=1)
+        t.event("repartition.retire", machine="src", span=span, pid=0)
+        t.event("repartition.flush", machine="src", span=span, pids=(8, 9),
+                flushed=0)
+        t.end_span(span, status="done")
+
+    assert any(v.check == "single-residency" for v in synthetic(author))
+
+
+def test_checker_flags_repartition_event_outside_span():
+    def author(t):
+        t.event("repartition.install", machine="m1", span=999, pid=8,
+                bytes=128, tuples=2)
+
+    assert any(v.check == "repartition-protocol" for v in synthetic(author))
+
+
+def completed_repartition_trace():
+    """A known-good real trace containing completed split sessions."""
+    from repro import AdaptationConfig, Deployment
+    from repro.workloads import WorkloadSpec, three_way_join
+    from repro.workloads.generator import PartitionWorkload
+    from repro.workloads.patterns import AlternatingPattern
+
+    tracer = Tracer()
+    parts = tuple(
+        PartitionWorkload(pid=i, join_rate=3.0, tuple_range=240,
+                          weight=(4.0 if i == 0 else 1.0))
+        for i in range(8)
+    )
+    dep = Deployment(
+        join=three_way_join(window=10.0),
+        workload=WorkloadSpec(
+            n_partitions=8, partitions=parts, interarrival=0.05, seed=11,
+            pattern=AlternatingPattern([{0}, frozenset()], period=30.0,
+                                       factor=6.0),
+        ),
+        workers=2,
+        config=AdaptationConfig(
+            strategy=StrategyName.LAZY_DISK, memory_threshold=60_000,
+            theta_r=0.05, tau_m=10.0, coordinator_interval=5.0,
+            stats_interval=2.0, ss_interval=2.0, min_relocation_bytes=1024,
+            repartition_enabled=True, split_skew_factor=2.5,
+            split_min_bytes=4_000, merge_max_bytes=6_000, tau_p=8.0,
+        ),
+        assignment={"m1": 1.0, "m2": 1.0},
+        tracer=tracer,
+    )
+    dep.run(duration=60.0, sample_interval=10.0)
+    dep.cleanup()
+    events = list(tracer.events)
+    done = [e.span for e in events
+            if e.phase == "E" and e.name == "repartition"
+            and e.get("status") == "done"]
+    assert done, "fixture run completed no repartition session"
+    return events, done[0]
+
+
+def test_mutated_real_trace_dropped_install_is_caught():
+    """Dropping one child install from a completed real split session is
+    rejected; the unmutated trace is clean."""
+    events, span = completed_repartition_trace()
+    assert check_trace(events) == []
+    installs = [i for i, e in enumerate(events)
+                if e.name == "repartition.install" and e.span == span]
+    mutated = [e for i, e in enumerate(events) if i != installs[-1]]
+    assert any(v.check == "repartition-protocol" for v in check_trace(mutated))
+
+
+def test_mutated_real_trace_duplicated_flush_is_caught():
+    """Replaying a split host's buffer flush (duplicate delivery of the
+    pause-buffered tuples) is a pause-flush violation."""
+    events, span = completed_repartition_trace()
+    flush = next(e for e in events
+                 if e.name == "repartition.flush" and e.span == span)
+    assert any(v.check == "pause-flush"
+               for v in check_trace(events + [flush]))
+
+
+# ----------------------------------------------------------------------
 # Determinism and non-perturbation
 # ----------------------------------------------------------------------
 
