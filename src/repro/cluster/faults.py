@@ -159,6 +159,58 @@ class MachineRestart(Fault):
         return f"t={self.time:.0f}s: restart of {self.engine.name!r}"
 
 
+class MembershipTarget(Protocol):
+    """What the elasticity faults need from their target (a ``Deployment``
+    in practice; typed structurally to keep ``cluster`` free of ``engine``
+    imports)."""
+
+    def add_machine(self, name: str): ...
+
+    def drain_machine(self, name: str): ...
+
+
+@dataclass
+class MachineJoin(Fault):
+    """Admit worker ``name`` into the cluster at ``time``.
+
+    A new name gets a full machine stack wired at runtime; a previously
+    drained name is revived empty under a fresh incarnation.  With
+    ``rebalance_on_join`` the coordinator's next evaluation may relocate
+    state onto the joiner.
+    """
+
+    time: float
+    deployment: MembershipTarget
+    name: str
+
+    def apply(self) -> None:
+        self.deployment.add_machine(self.name)
+
+    def describe(self) -> str:
+        return f"t={self.time:.0f}s: join of {self.name!r}"
+
+
+@dataclass
+class MachineDrain(Fault):
+    """Request a graceful scale-in of worker ``name`` at ``time``.
+
+    Unlike :class:`MachineCrash` nothing is lost: the coordinator
+    relocates every resident partition group away before retiring the
+    machine, and its buffered outputs are flushed on retirement.  The
+    drain completes asynchronously as the simulator advances.
+    """
+
+    time: float
+    deployment: MembershipTarget
+    name: str
+
+    def apply(self) -> None:
+        self.deployment.drain_machine(self.name)
+
+    def describe(self) -> str:
+        return f"t={self.time:.0f}s: drain of {self.name!r}"
+
+
 class FaultSchedule:
     """A declarative, armable list of timed faults.
 

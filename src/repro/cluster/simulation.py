@@ -38,14 +38,23 @@ class Event:
     :meth:`cancel` and the :attr:`time` attribute.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.
@@ -53,7 +62,11 @@ class Event:
         Cancelling an already-fired or already-cancelled event is a no-op,
         which makes shutdown paths simple to write.
         """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -79,11 +92,17 @@ class Simulator:
     2.0
     """
 
+    #: Never compact heaps smaller than this — the list rebuild costs more
+    #: than the cancelled entries it reclaims.
+    COMPACT_FLOOR = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_heap = 0
+        self._compactions = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -99,9 +118,26 @@ class Simulator:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time!r}; clock is at {self.now!r}")
-        event = Event(time, next(self._seq), callback, args)
+        event = Event(time, next(self._seq), callback, args, self)
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        Keeps a live count of cancelled-but-still-resident entries so
+        :attr:`pending` is O(1), and lazily compacts the heap once dead
+        entries outnumber live ones — long runs with heavy timer churn
+        (100+ machines re-arming stats/ss timers) would otherwise grow the
+        heap without bound until the dead entries happen to reach the top.
+        """
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_FLOOR and self._cancelled_in_heap * 2 > len(heap):
+            self._heap = [e for e in heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -114,8 +150,10 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.now = event.time
+            event.fired = True
             self._events_processed += 1
             event.callback(*event.args)
             return True
@@ -137,20 +175,28 @@ class Simulator:
             fired = 0
             while self._heap:
                 if max_events is not None and fired >= max_events:
-                    return
+                    break
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and nxt.time > until:
                     break
                 heapq.heappop(self._heap)
                 self.now = nxt.time
+                nxt.fired = True
                 self._events_processed += 1
                 nxt.callback(*nxt.args)
                 fired += 1
             if until is not None and until > self.now:
-                self.now = until
+                # Advance to the requested horizon, but never past a pending
+                # event: when max_events stopped the run mid-window, jumping
+                # over due work would let the clock travel backwards on the
+                # next step().
+                nxt_time = self.peek_time()
+                if nxt_time is None or nxt_time > until:
+                    self.now = until
         finally:
             self._running = False
 
@@ -159,8 +205,13 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still on the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still on the heap (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy heap compactions performed since construction."""
+        return self._compactions
 
     @property
     def events_processed(self) -> int:
@@ -171,6 +222,7 @@ class Simulator:
         """Time of the next pending event, or ``None`` if the heap is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
         return self._heap[0].time if self._heap else None
 
 

@@ -238,6 +238,17 @@ class AdaptationConfig:
     #: ``stats_interval`` or healthy workers will be declared lost.
     failure_timeout: float = 15.0
 
+    # ----- elastic membership (repro.cluster; beyond the paper) ----------
+    #: After a machine joins, reset the relocation spacing clock so the
+    #: imbalance rule (θ_r) may immediately target the empty joiner instead
+    #: of waiting out a possibly long τ_m window.
+    rebalance_on_join: bool = True
+    #: Upper bound in seconds on a graceful drain: if the drain session's
+    #: relocations have not emptied the machine by then, the coordinator
+    #: aborts the drain (remaining groups stay where they are) rather than
+    #: blocking membership forever behind a stuck transfer.
+    drain_timeout: float = 120.0
+
     # ----- shared -------------------------------------------------------
     #: Smoothing factor for the windowed productivity estimator (None uses
     #: the cumulative metric exactly as defined in §2).
@@ -276,6 +287,7 @@ class AdaptationConfig:
             "coordinator_interval",
             "checkpoint_interval",
             "failure_timeout",
+            "drain_timeout",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")

@@ -29,7 +29,7 @@ from repro.cluster.simulation import Simulator, Timer
 from repro.core.config import AdaptationConfig, CostModel
 from repro.core.productivity import machine_productivity_rate
 from repro.core.repartition import RepartitionManager
-from repro.recovery.protocol import AbortTransferRequest
+from repro.recovery.protocol import AbortTransferRequest, PauseOwnedRequest
 from repro.core.relocation import (
     STEP_NAMES,
     CptvRequest,
@@ -65,6 +65,58 @@ class CoordinatorStats:
     forced_spills: int = 0
     forced_spill_bytes: int = 0
     evaluations: int = 0
+    joins: int = 0
+    drains_completed: int = 0
+    drains_aborted: int = 0
+
+
+#: Drain phases, in protocol order.
+DRAIN_PHASES = (
+    "queued", "cptv_sent", "collecting", "relocating", "done", "aborted",
+)
+
+
+@dataclass
+class DrainSession:
+    """GC-side state of one graceful scale-in.
+
+    A drain is a coordinator-driven super-session over the standard
+    relocation protocol: an operator-scope ``cptv`` asks the leaving
+    machine for everything its store holds (and parks it in relocation
+    mode, gated against concurrent spills), a ``pause_owned`` sweep
+    collects *every* partition the routing tables still point at it
+    (including empty never-touched ones), and the union then runs the
+    ordinary 8-step pause/transfer/remap flow to the chosen receiver.
+    Only after step 8 is the machine retired from the failure detector —
+    so a drain is never misclassified as a crash, and a crash mid-drain
+    simply aborts the drain and falls back to recovery.
+    """
+
+    machine: str
+    requested_at: float
+    deadline: float
+    phase: str = "queued"
+    target: str | None = None
+    started_at: float | None = None
+    store_pids: tuple[int, ...] = ()
+    owned_pids: tuple[int, ...] = ()
+    pending_collect_acks: set[str] = field(default_factory=set)
+    ledger_entry: int = 0
+    reloc: RelocationSession | None = None
+    completed_at: float | None = None
+
+    def advance(self, phase: str) -> None:
+        if phase not in DRAIN_PHASES:
+            raise ValueError(f"unknown drain phase {phase!r}")
+        if DRAIN_PHASES.index(phase) < DRAIN_PHASES.index(self.phase) and (
+            phase != "aborted"
+        ):
+            raise ValueError(f"cannot regress from {self.phase!r} to {phase!r}")
+        self.phase = phase
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase in ("done", "aborted")
 
 
 class GlobalCoordinator:
@@ -116,6 +168,15 @@ class GlobalCoordinator:
         self.last_relocation_time = -float("inf")
         self.stats = CoordinatorStats()
         self._timer: Timer | None = None
+        #: graceful scale-ins in flight or queued, keyed by machine
+        self.draining: dict[str, DrainSession] = {}
+        #: machines retired by a completed drain (membership check 10:
+        #: routing anything here afterwards is a protocol violation)
+        self.drained: set[str] = set()
+        self.drain_history: list[DrainSession] = []
+        #: optional deployment hooks fired when membership changes land
+        self.on_drained = None
+        self.on_drain_aborted = None
         #: optional crash-recovery driver (repro.recovery.RecoveryManager)
         self.recovery = None
         #: split/merge protocol driver (inert unless repartition_enabled)
@@ -127,6 +188,346 @@ class GlobalCoordinator:
         runs its failure detector each evaluation pass and forwards the
         recovery-protocol acks to it."""
         self.recovery = recovery
+
+    # ------------------------------------------------------------------
+    # Elastic membership (join / drain)
+    # ------------------------------------------------------------------
+    def admit_worker(self, machine: str, *, incarnation: int = 0) -> None:
+        """Admit a worker at runtime (scale-out, or rejoin after a drain).
+
+        The joiner starts empty; with ``rebalance_on_join`` the relocation
+        spacing clock is reset so the θ_r imbalance rule may target it on
+        the first tick that sees its statistics report, instead of waiting
+        out the remainder of a τ_m window.
+        """
+        if machine in self.workers:
+            raise ValueError(f"worker {machine!r} is already a member")
+        if machine in self.draining:
+            raise ValueError(f"worker {machine!r} is mid-drain")
+        self.workers.append(machine)
+        self.drained.discard(machine)
+        self.stats.joins += 1
+        if self.recovery is not None:
+            self.recovery.add_worker(machine, self.sim.now, incarnation)
+        rebalance = self.config.rebalance_on_join
+        if rebalance:
+            self.last_relocation_time = -float("inf")
+        self.metrics.events.record(
+            self.sim.now, "join", machine, incarnation=incarnation
+        )
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "membership.join", machine=self.name,
+                worker=machine, incarnation=incarnation,
+            )
+        ledger = self.metrics.ledger
+        if ledger.enabled:
+            ledger.record(
+                self.name, "membership", "join", "admit",
+                {
+                    "event": "join",
+                    "machine": machine,
+                    "now": self.sim.now,
+                    "incarnation": incarnation,
+                    "rebalance_on_join": rebalance,
+                    "workers": list(self.workers),
+                },
+                [
+                    _alt(
+                        "rebalance",
+                        (
+                            "rebalance_on_join -> reset last_relocation_time "
+                            "so theta_r may target the empty joiner next tick"
+                            if rebalance
+                            else "rebalance_on_join disabled -> tau_m spacing "
+                            "unchanged; the joiner waits for organic imbalance"
+                        ),
+                        outcome="chosen" if rebalance else "rejected",
+                    ),
+                ],
+            )
+
+    def drain_worker(self, machine: str) -> DrainSession:
+        """Request a graceful scale-in of ``machine``.
+
+        Returns the queued :class:`DrainSession`; the evaluation loop
+        starts it once no other adaptation session is in flight.  The
+        machine keeps serving (and heartbeating) until the final remap
+        lands — only then is it retired.
+        """
+        if machine not in self.workers:
+            raise ValueError(f"cannot drain unknown worker {machine!r}")
+        if machine in self.draining:
+            raise ValueError(f"worker {machine!r} is already draining")
+        if self.recovery is not None and machine in self.recovery.dead:
+            raise ValueError(f"cannot drain dead worker {machine!r}")
+        session = DrainSession(
+            machine=machine,
+            requested_at=self.sim.now,
+            deadline=self.sim.now + self.config.drain_timeout,
+        )
+        self.draining[machine] = session
+        if self.recovery is not None:
+            # recovery must not re-home a crashed peer's state onto a
+            # machine that is on its way out
+            self.recovery.draining.add(machine)
+        self.metrics.events.record(
+            self.sim.now, "drain_requested", machine, deadline=session.deadline
+        )
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "membership.drain", machine=self.name,
+                worker=machine, deadline=session.deadline,
+            )
+        return session
+
+    def _active_drain(self, *phases: str) -> DrainSession | None:
+        """The single non-terminal drain currently in one of ``phases``."""
+        for session in self.draining.values():
+            if session.phase in phases:
+                return session
+        return None
+
+    def _start_drain(self, session: DrainSession) -> bool:
+        """Choose the drain's receiver and kick off the operator-scope
+        ``cptv``; returns False (drain stays queued) when no live receiver
+        candidate has reported statistics yet."""
+        candidates = [
+            self.latest[w]
+            for w in self.workers
+            if w != session.machine
+            and w in self.latest
+            and w not in self.draining
+            and not (self.recovery is not None and w in self.recovery.dead)
+        ]
+        if not candidates:
+            return False
+        target = min(candidates, key=lambda r: (r.state_bytes, r.machine))
+        session.target = target.machine
+        session.started_at = self.sim.now
+        ledger = self.metrics.ledger
+        if ledger.enabled:
+            alts = [
+                _alt(
+                    "drain",
+                    f"receiver {r.machine!r}: state = {r.state_bytes} B "
+                    f"> least-loaded {target.machine!r} = "
+                    f"{target.state_bytes} B",
+                )
+                for r in candidates
+                if r.machine != target.machine
+            ]
+            alts.append(_alt(
+                "drain",
+                f"receiver {target.machine!r} is least loaded "
+                f"({target.state_bytes} B) among {len(candidates)} live "
+                f"candidate(s) -> move all of {session.machine!r}'s state "
+                f"there",
+                outcome="chosen",
+            ))
+            session.ledger_entry = ledger.record(
+                self.name, "membership", "drain", "drain",
+                {
+                    "event": "drain",
+                    "machine": session.machine,
+                    "now": self.sim.now,
+                    "deadline": session.deadline,
+                    "reports": [
+                        {
+                            "machine": r.machine,
+                            "state_bytes": r.state_bytes,
+                            "group_count": r.group_count,
+                        }
+                        for r in candidates
+                    ],
+                    "chosen_receiver": target.machine,
+                },
+                alts,
+            )
+        session.advance("cptv_sent")
+        self._send(
+            session.machine,
+            "cptv",
+            CptvRequest(
+                amount=0,
+                ledger_entry=session.ledger_entry,
+                scope="operator",
+            ),
+        )
+        return True
+
+    def _drain_collect(self, session: DrainSession) -> None:
+        """Sweep the routing tables for everything still owned by the
+        leaving machine (empty partitions included)."""
+        session.advance("collecting")
+        session.pending_collect_acks = set(self.split_hosts)
+        for host in self.split_hosts:
+            self._send(
+                host,
+                "pause_owned",
+                PauseOwnedRequest(machine=session.machine, trace_span=0),
+            )
+
+    def _drain_relocate(self, session: DrainSession) -> None:
+        """Run the collected pid union through the standard 8-step
+        relocation protocol (markers and all), or finish immediately when
+        the machine owns nothing."""
+        pids = tuple(sorted(set(session.store_pids) | set(session.owned_pids)))
+        if not pids:
+            if self.metrics.ledger.enabled:
+                self.metrics.ledger.realize(
+                    session.ledger_entry,
+                    status="done", executed=False, reason="nothing_owned",
+                )
+            self._finish_drain(session)
+            return
+        reloc = RelocationSession(
+            sender=session.machine,
+            receiver=session.target,
+            amount=0,
+            split_hosts=tuple(self.split_hosts),
+            started_at=self.sim.now,
+            ledger_entry=session.ledger_entry,
+        )
+        reloc.partition_ids = pids
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            reloc.trace_span = tracer.begin_span(
+                "relocation",
+                machine=self.name,
+                src=session.machine,
+                dst=session.target,
+                amount=0,
+                drain=True,
+            )
+            if self.metrics.ledger.enabled:
+                self.metrics.ledger.annotate(
+                    session.ledger_entry, trace_span=reloc.trace_span
+                )
+        session.reloc = reloc
+        session.advance("relocating")
+        self.session = reloc
+        reloc.advance("pausing")
+        reloc.pending_pause_acks = set(reloc.split_hosts)
+        # steps 1-2 (operator-scope cptv / ptv) ran before the span could
+        # exist — the pid union needed the owned-pid sweep too — so they
+        # are recorded here, preserving the checker's step-order contract
+        self._trace_step(reloc, 1, sender=session.machine, scope="operator")
+        self._trace_step(reloc, 2, sender=session.machine, pids=len(pids))
+        self._trace_step(reloc, 3, hosts=reloc.split_hosts)
+        for host in reloc.split_hosts:
+            self._send(
+                host,
+                "pause",
+                PauseRequest(
+                    partition_ids=pids,
+                    sender=session.machine,
+                    trace_span=reloc.trace_span,
+                ),
+            )
+
+    def _drain_for_session(self, reloc: RelocationSession) -> DrainSession | None:
+        for session in self.draining.values():
+            if session.reloc is reloc:
+                return session
+        return None
+
+    def _finish_drain(self, session: DrainSession) -> None:
+        """Step 8 landed (or the machine owned nothing): retire it."""
+        session.advance("done")
+        session.completed_at = self.sim.now
+        machine = session.machine
+        self.workers.remove(machine)
+        self.latest.pop(machine, None)
+        self.draining.pop(machine, None)
+        self.drained.add(machine)
+        self.drain_history.append(session)
+        self.stats.drains_completed += 1
+        if self.recovery is not None:
+            self.recovery.draining.discard(machine)
+            self.recovery.retire_worker(machine)
+        pids = session.reloc.partition_ids if session.reloc else ()
+        self.metrics.events.record(
+            self.sim.now,
+            "drain",
+            machine,
+            receiver=session.target,
+            partitions=len(pids),
+            duration=self.sim.now - session.requested_at,
+        )
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "membership.retire", machine=self.name,
+                worker=machine, receiver=session.target,
+                partitions=len(pids),
+            )
+        if self.on_drained is not None:
+            self.on_drained(machine)
+
+    def _abort_drain(self, session: DrainSession, reason: str) -> None:
+        """Cancel a drain (crash of the leaving machine, or timeout).
+
+        ``collecting``-phase pauses are rolled back by remapping the
+        collected pids to their current owner — unless the machine died,
+        in which case the pids stay paused for recovery's own
+        ``pause_owned`` sweep to re-home (flushing them at a dead machine
+        would lose tuples).
+        """
+        machine_dead = (
+            self.recovery is not None and session.machine in self.recovery.dead
+        )
+        phase_reached = session.phase
+        if phase_reached == "collecting" and not machine_dead and session.owned_pids:
+            for host in self.split_hosts:
+                self._send(
+                    host,
+                    "remap",
+                    RemapRequest(
+                        partition_ids=session.owned_pids,
+                        new_owner=session.machine,
+                        trace_span=0,
+                    ),
+                )
+        if phase_reached in ("cptv_sent", "collecting") and not machine_dead:
+            # clears a parked operator-scope cptv and leaves relocation mode
+            self._send(
+                session.machine,
+                "abort_transfer",
+                AbortTransferRequest(
+                    partition_ids=(), receiver=session.target or ""
+                ),
+            )
+        session.advance("aborted")
+        session.completed_at = self.sim.now
+        self.draining.pop(session.machine, None)
+        if self.recovery is not None:
+            self.recovery.draining.discard(session.machine)
+        self.drain_history.append(session)
+        self.stats.drains_aborted += 1
+        if self.metrics.ledger.enabled and session.ledger_entry:
+            realized = {
+                "status": "aborted",
+                "reason": reason,
+                "phase_reached": phase_reached,
+            }
+            if session.reloc is None:
+                # no relocation span was ever begun, so the entry is exempt
+                # from the span<->entry bijection; with a span in the trace
+                # the entry must keep claiming it (executed stays truthy)
+                realized["executed"] = False
+            self.metrics.ledger.realize(session.ledger_entry, **realized)
+        self.metrics.events.record(
+            self.sim.now,
+            "drain_aborted",
+            session.machine,
+            reason=reason,
+            phase_reached=phase_reached,
+        )
+        if self.on_drain_aborted is not None:
+            self.on_drain_aborted(session.machine, reason)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -155,6 +556,11 @@ class GlobalCoordinator:
 
     def _on_stats(self, message: Message) -> None:
         report: StatsReport = message.payload
+        if report.machine not in self.workers:
+            # a drained (retired) machine's last in-flight heartbeat, or a
+            # report racing its own retirement: membership says it is gone
+            self.stats.protocol_ignored += 1
+            return
         self.latest[report.machine] = report
         if self.recovery is not None:
             self.recovery.note_report(
@@ -173,6 +579,16 @@ class GlobalCoordinator:
             self.recovery.tick(self.sim.now, self.latest)
             for machine in self.recovery.dead:
                 self.latest.pop(machine, None)
+            # A drain racing a crash of the same machine: the crash wins —
+            # the drain aborts here (pre-relocation phases) or via the
+            # session-abort hook (relocating), and recovery re-homes.
+            for drain in list(self.draining.values()):
+                if (
+                    drain.machine in self.recovery.dead
+                    and not drain.terminal
+                    and drain.phase != "relocating"
+                ):
+                    self._abort_drain(drain, "crashed")
             if (
                 self.session is not None
                 and not self.session.terminal
@@ -189,6 +605,16 @@ class GlobalCoordinator:
                 if ledger.enabled:
                     self._ledger_deferred("recovery_active")
                 return
+        for drain in list(self.draining.values()):
+            # drain_timeout guards the pre-relocation phases; once the
+            # 8-step protocol is in flight it is allowed to land (the
+            # machine is provably empty at step 8, so finishing is correct
+            # even past the deadline).
+            if (
+                drain.phase in ("queued", "cptv_sent", "collecting")
+                and self.sim.now > drain.deadline
+            ):
+                self._abort_drain(drain, "timeout")
         if self.session is not None and not self.session.terminal:
             if ledger.enabled:
                 self._ledger_deferred(
@@ -200,6 +626,16 @@ class GlobalCoordinator:
                 self._ledger_deferred(
                     "repartition_in_flight", phase=self.repartition.session.phase
                 )
+            return
+        drain = self._active_drain("cptv_sent", "collecting")
+        if drain is not None:
+            if ledger.enabled:
+                self._ledger_deferred("drain_in_flight", phase=drain.phase)
+            return
+        queued = self._active_drain("queued")
+        if queued is not None:
+            if not self._start_drain(queued) and ledger.enabled:
+                self._ledger_deferred("drain_no_target", machine=queued.machine)
             return
         reports = [self.latest.get(w) for w in self.workers]
         known = [r for r in reports if r is not None]
@@ -564,12 +1000,20 @@ class GlobalCoordinator:
                 adopted=adopted,
             )
         self.session = None
+        drain = self._drain_for_session(session)
+        if drain is not None and not drain.terminal:
+            self._abort_drain(drain, "participant_died")
 
     # ------------------------------------------------------------------
     # Relocation protocol steps (GC side)
     # ------------------------------------------------------------------
     def _on_ptv(self, message: Message) -> None:
         parts: PartsList = message.payload
+        drain = self._active_drain("cptv_sent")
+        if drain is not None and parts.sender == drain.machine:
+            drain.store_pids = parts.partition_ids
+            self._drain_collect(drain)
+            return
         session = self._session_in_phase("cptv_sent")
         if session is None:
             return
@@ -685,6 +1129,27 @@ class GlobalCoordinator:
                 ),
             )
         self.session = None
+        drain = self._drain_for_session(session)
+        if drain is not None and not drain.terminal:
+            self._finish_drain(drain)
+
+    def _on_owned_paused(self, message: Message) -> None:
+        """Drain collect acks take this kind when a drain is collecting;
+        everything else belongs to the recovery manager's sweep."""
+        ack = message.payload
+        drain = self._active_drain("collecting")
+        if drain is not None and ack.machine == drain.machine:
+            drain.pending_collect_acks.discard(ack.host)
+            drain.owned_pids = tuple(
+                sorted(set(drain.owned_pids) | set(ack.partition_ids))
+            )
+            if not drain.pending_collect_acks:
+                self._drain_relocate(drain)
+            return
+        if self.recovery is not None:
+            self.recovery._on_owned_paused(message)
+            return
+        self.stats.protocol_ignored += 1
 
     def _on_ss_done(self, message: Message) -> None:
         done: ForcedSpillDone = message.payload
@@ -729,6 +1194,20 @@ class GlobalCoordinator:
             help="Stale/unsolicited protocol messages dropped",
             labels=gc,
         ).set_total(self.stats.protocol_ignored)
+        registry.counter(
+            "repro_gc_joins_total",
+            help="Workers admitted at runtime",
+            labels=gc,
+        ).set_total(self.stats.joins)
+        registry.counter(
+            "repro_gc_drains_total",
+            help="Graceful scale-ins by final status",
+            labels={**gc, "status": "completed"},
+        ).set_total(self.stats.drains_completed)
+        registry.counter(
+            "repro_gc_drains_total",
+            labels={**gc, "status": "aborted"},
+        ).set_total(self.stats.drains_aborted)
         if self.config.repartition_enabled:
             self.repartition.publish_metrics(registry)
 

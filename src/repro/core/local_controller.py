@@ -127,16 +127,21 @@ class LocalAdaptationController:
     # ------------------------------------------------------------------
     # State relocation (cptv path)
     # ------------------------------------------------------------------
-    def compute_parts_to_move(self, amount: int) -> tuple[tuple[int, ...], int]:
+    def compute_parts_to_move(
+        self, amount: int, scope: str | None = None
+    ) -> tuple[tuple[int, ...], int]:
         """Pick the partitions one relocation should carry.
 
         Partition scope (the paper): the most productive groups totalling
-        ~``amount`` bytes.  Operator scope (the §6 Borealis baseline):
-        everything this instance holds, regardless of ``amount``.
+        ~``amount`` bytes.  Operator scope (the §6 Borealis baseline, and
+        every graceful drain): everything this instance holds, regardless
+        of ``amount``.  ``scope`` overrides the configured default.
         """
         from repro.core.config import RelocationScope
 
-        if self.config.relocation_scope is RelocationScope.OPERATOR:
+        if scope is None:
+            scope = self.config.relocation_scope.value
+        if scope == RelocationScope.OPERATOR.value:
             pids = tuple(
                 g.pid for g in self.store.groups() if not g.is_empty
             )

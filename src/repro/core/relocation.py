@@ -76,6 +76,11 @@ class CptvRequest:
     #: so the sender can annotate the entry with its chosen victim groups
     #: and their productivity scores at selection time.
     ledger_entry: int = 0
+    #: ``None`` (default): the sender applies its configured
+    #: ``relocation_scope``.  ``"operator"`` forces take-everything
+    #: (``amount`` ignored) — a graceful drain issues an operator-scope
+    #: cptv regardless of the configured scope.
+    scope: str | None = None
 
 
 @dataclass(frozen=True)

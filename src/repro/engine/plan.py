@@ -231,6 +231,8 @@ class Deployment:
 
         # --- machines, disks ------------------------------------------
         capacity = None if self.profile.unbounded_memory else memory_capacity
+        self._memory_capacity = capacity
+        self._base_seed = seed
         self.machines: dict[str, Machine] = {
             name: Machine(self.sim, name, memory_capacity=capacity)
             for name in workers
@@ -282,6 +284,7 @@ class Deployment:
 
         # --- sinks ------------------------------------------------------
         materialize = bool(collect_results or downstream or collector is not None)
+        self._materialize = materialize
         if collector is not None:
             self.collector = collector
         else:
@@ -298,6 +301,7 @@ class Deployment:
                 self.sim, self.network, app_machine, self.collector, self.cost
             )
             app_name = app_machine.name
+        self._app_name = app_name
 
         # --- engines ------------------------------------------------------
         self.engines: dict[str, QueryEngine] = {
@@ -346,6 +350,9 @@ class Deployment:
             name=self.coordinator_name,
             n_partitions=workload.n_partitions,
         )
+        # graceful scale-in: once the coordinator finished relocating a
+        # draining machine's state, retire its engine (flush + stop)
+        self.coordinator.on_drained = self._on_machine_drained
 
         # --- crash-fault tolerance (repro.recovery, opt-in) ---------------
         self.registry = None
@@ -495,6 +502,118 @@ class Deployment:
         emit."""
         for engine in self.engines.values():
             engine.flush_outputs()
+
+    # ------------------------------------------------------------------
+    # Elastic membership (runtime scale-out / scale-in)
+    # ------------------------------------------------------------------
+    def add_machine(self, name: str) -> QueryEngine:
+        """Admit a worker at runtime.
+
+        A brand-new name gets a full machine stack (machine, disk, join
+        instance, engine, checkpointer when fault tolerance is on) wired
+        exactly like the initial workers; a previously drained name is
+        revived under a fresh incarnation, reusing its registered network
+        endpoint.  Either way the coordinator admits it into membership
+        and — with ``rebalance_on_join`` — lets the next evaluation round
+        relocate state onto the (empty) joiner.  Returns the engine.
+        """
+        if not name.startswith(self.namespace):
+            name = self.namespace + name
+        if name in self.engines:
+            engine = self.engines[name]
+            if engine.alive:
+                raise ValueError(f"worker {name!r} is already a live member")
+            # Rejoin after drain: the network endpoint, disk (possibly
+            # holding spilled fragments awaiting cleanup) and empty store
+            # are all still in place — revive bumps the incarnation so the
+            # failure detector sees a strictly newer lifetime.
+            engine.revive()
+            if name not in self.worker_names:
+                self.worker_names.append(name)
+            self.coordinator.admit_worker(name, incarnation=engine.incarnation)
+            return engine
+        from repro.engine.app_server import APP_SERVER_NAME
+
+        if name in {self.source_name, self.coordinator_name,
+                    self.namespace + APP_SERVER_NAME}:
+            raise ValueError(f"worker name {name!r} is reserved")
+        machine = Machine(self.sim, name, memory_capacity=self._memory_capacity)
+        disk = Disk(
+            write_bandwidth=self.cost.disk_write_bandwidth,
+            read_bandwidth=self.cost.disk_read_bandwidth,
+            seek_time=self.cost.disk_seek_time,
+        )
+        instance = self.join.make_instance(
+            machine, columnar=self.data_path == "columnar"
+        )
+        engine = QueryEngine(
+            self.sim,
+            self.network,
+            machine,
+            disk,
+            instance,
+            self.config,
+            self.cost,
+            self.metrics,
+            self.collector,
+            materialize=self._materialize,
+            app_server=self._app_name,
+            data_path=self.data_path,
+            seed=self._base_seed + len(self.engines),
+            coordinator_name=self.coordinator_name,
+            metric_labels=self.metric_labels or None,
+        )
+        self.machines[name] = machine
+        self.disks[name] = disk
+        self.instances[name] = instance
+        self.engines[name] = engine
+        self.worker_names.append(name)
+        if self.registry is not None:
+            from repro.recovery import CheckpointManager
+
+            self.registry.disks[name] = disk
+            peers = [w for w in self.worker_names if w != name]
+            engine.attach_checkpointer(
+                CheckpointManager(
+                    self.sim,
+                    self.network,
+                    machine,
+                    disk,
+                    instance.store,
+                    self.registry,
+                    self.config,
+                    self.cost,
+                    self.metrics,
+                    source_name=self.source_name,
+                    peer=peers[0] if peers else None,
+                    on_flush=engine.flush_outputs,
+                )
+            )
+        if self._started:
+            engine.start()
+        self.coordinator.admit_worker(name, incarnation=engine.incarnation)
+        return engine
+
+    def drain_machine(self, name: str):
+        """Request a graceful scale-in of ``name``.
+
+        The coordinator relocates every resident partition group away
+        (operator-scope cptv + owned-pid sweep + the standard 8-step
+        protocol), then retires the machine; :meth:`_on_machine_drained`
+        flushes and stops its engine at that point.  Returns the
+        coordinator's :class:`~repro.core.coordinator.DrainSession` for
+        observation; the drain itself completes asynchronously as the
+        simulator advances.
+        """
+        name = self.namespace + name if not name.startswith(self.namespace) else name
+        if name not in self.engines:
+            raise ValueError(f"cannot drain unknown worker {name!r}")
+        return self.coordinator.drain_worker(name)
+
+    def _on_machine_drained(self, name: str) -> None:
+        engine = self.engines.get(name)
+        if engine is not None:
+            engine.drain()
 
     def sample(self) -> None:
         now = self.sim.now

@@ -284,6 +284,45 @@ class QueryEngine:
             )
 
     # ------------------------------------------------------------------
+    # Elastic membership (graceful scale-in / rejoin)
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Retire gracefully after the coordinator relocated all state away.
+
+        Unlike :meth:`crash`, buffered outputs are flushed (nothing is
+        lost) and the incarnation is *not* bumped — the bump happens on
+        :meth:`revive`, so a drained-then-rejoined machine presents a
+        strictly greater incarnation to the failure detector.
+        """
+        if not self.alive:
+            return
+        self.flush_outputs()
+        self.stop()
+        self.alive = False
+        self.metrics.events.record(self.sim.now, "engine_drained", self.name)
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "engine.drained", machine=self.name, incarnation=self.incarnation
+            )
+
+    def revive(self) -> None:
+        """Rejoin after :meth:`drain`, empty, under a fresh incarnation."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        if self.checkpointer is not None:
+            self.checkpointer.reset()
+        self.start()
+        self.metrics.events.record(self.sim.now, "engine_revived", self.name)
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.event(
+                "engine.revive", machine=self.name, incarnation=self.incarnation
+            )
+
+    # ------------------------------------------------------------------
     # Network dispatch
     # ------------------------------------------------------------------
     def deliver(self, message: Message) -> None:
@@ -538,7 +577,9 @@ class QueryEngine:
 
     def _start_cptv(self, request: CptvRequest) -> None:
         self.mode = MODE_SR
-        pids, total = self.controller.compute_parts_to_move(request.amount)
+        pids, total = self.controller.compute_parts_to_move(
+            request.amount, getattr(request, "scope", None)
+        )
         ledger = self.metrics.ledger
         if ledger.enabled and request.ledger_entry:
             # annotate the GC's decision with the concrete groups the local

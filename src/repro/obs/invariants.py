@@ -42,6 +42,15 @@ adaptation protocols, independent of any particular workload:
    new group installed; a completed session installed exactly its
    ordered children (split) or parent (merge), retired exactly the
    replaced pid(s), and flushed each host's pause buffer exactly once.
+10. **Elastic membership** — ownership is only ever acquired by a
+    *member*: a machine seen in the initial ``deploy.assignment`` or
+    admitted by a later ``membership.join``.  After ``membership.retire``
+    (a completed graceful drain) no state may be installed, restored or
+    assigned on the retired machine until a fresh ``membership.join``
+    re-admits it; and a drained engine (``engine.drained``) emits no
+    trace activity until ``engine.revive`` — the only exception is the
+    post-run ``cleanup.*`` phase, which merges spilled fragments left on
+    the retired machine's disk by design.
 
 ``check_trace(events)`` returns a list of :class:`Violation`; an empty
 list means the trace upholds every contract.  The checker needs only the
@@ -137,6 +146,10 @@ class InvariantChecker:
         # (span, stage, pid) -> sender, for state packed but not installed
         self._in_flight: dict[tuple[int, str, int], str] = {}
         self._dead: set[str] = set()
+        # check 10: cluster membership as seen by the trace
+        self._members: set[str] = set()
+        self._retired_members: set[str] = set()
+        self._drained_engines: set[str] = set()
         self._relocations: dict[int, _RelocationState] = {}
         self._recoveries: dict[int, _RecoveryState] = {}
         self._repartitions: dict[int, _RepartitionState] = {}
@@ -225,6 +238,10 @@ class InvariantChecker:
                 "repartition.route": self._on_repartition_route,
                 "repartition.retire": self._on_repartition_retire,
                 "repartition.flush": self._on_repartition_flush,
+                "membership.join": self._on_member_join,
+                "membership.retire": self._on_member_retire,
+                "engine.drained": self._on_engine_drained,
+                "engine.revive": self._on_engine_revive,
             }.get(e.name)
             if handler is not None:
                 handler(e)
@@ -239,6 +256,18 @@ class InvariantChecker:
                 f"machine {e.machine!r} emitted {e.name!r} while crashed",
                 e,
             )
+        # check 10: a gracefully drained engine is equally silent until it
+        # is revived — only post-run cleanup may touch its leftover disk
+        if (
+            e.machine in self._drained_engines
+            and e.name not in ("engine.revive", "engine.drained")
+            and not e.name.startswith("cleanup")
+        ):
+            self._fail(
+                "membership",
+                f"machine {e.machine!r} emitted {e.name!r} while drained",
+                e,
+            )
 
     # ------------------------------------------------------------------
     # Residency bookkeeping (check 3)
@@ -246,6 +275,8 @@ class InvariantChecker:
     def _on_assignment(self, e: TraceEvent) -> None:
         stage = str(e.get("stage", ""))
         self._stage_of[e.machine] = stage
+        # the initial placement doubles as the founding membership roster
+        self._members.add(e.machine)
         for pid in e.get("pids", ()):
             key = (stage, int(pid))
             holder = self._resident.get(key)
@@ -268,6 +299,7 @@ class InvariantChecker:
             self._in_flight[(span, stage, int(pid))] = e.machine
 
     def _on_install(self, e: TraceEvent) -> None:
+        self._check_ownership_target(e.machine, "installed", e)
         stage = self._stage(e.machine, e)
         span = e.span or 0
         for pid in e.get("pids", ()):
@@ -293,6 +325,7 @@ class InvariantChecker:
         self._dead.discard(e.machine)
 
     def _on_restore(self, e: TraceEvent) -> None:
+        self._check_ownership_target(e.machine, "restored", e)
         stage = self._stage(e.machine, e)
         for pid in e.get("installed", ()):
             key = (stage, int(pid))
@@ -305,6 +338,41 @@ class InvariantChecker:
                     e,
                 )
             self._resident[key] = e.machine
+
+    # ------------------------------------------------------------------
+    # Elastic membership (check 10)
+    # ------------------------------------------------------------------
+    def _on_member_join(self, e: TraceEvent) -> None:
+        worker = str(e.get("worker", ""))
+        self._members.add(worker)
+        self._retired_members.discard(worker)
+
+    def _on_member_retire(self, e: TraceEvent) -> None:
+        worker = str(e.get("worker", ""))
+        self._retired_members.add(worker)
+        self._members.discard(worker)
+
+    def _on_engine_drained(self, e: TraceEvent) -> None:
+        self._drained_engines.add(e.machine)
+
+    def _on_engine_revive(self, e: TraceEvent) -> None:
+        self._drained_engines.discard(e.machine)
+
+    def _check_ownership_target(self, machine: str, verb: str,
+                                e: TraceEvent) -> None:
+        """State may only land on a current member (check 10)."""
+        if machine in self._retired_members:
+            self._fail(
+                "membership",
+                f"state {verb} on {machine!r} after its graceful retirement",
+                e,
+            )
+        elif self._members and machine not in self._members:
+            self._fail(
+                "membership",
+                f"state {verb} on {machine!r}, which never joined the cluster",
+                e,
+            )
 
     # ------------------------------------------------------------------
     # Relocation protocol (checks 1 and 2)
@@ -470,6 +538,7 @@ class InvariantChecker:
         state = self._repartition_for(e)
         if state is None:
             return
+        self._check_ownership_target(e.machine, "installed", e)
         stage = self._stage(e.machine, e)
         pid = int(e.get("pid", -1))
         if pid not in state.expected_installs:

@@ -55,6 +55,7 @@ KIND_OVERFLOW_CHECK = "overflow_check"
 KIND_CLUSTER_GC = "cluster_gc"
 KIND_ADMISSION = "admission"
 KIND_REPARTITION = "repartition"
+KIND_MEMBERSHIP = "membership"
 
 #: actions (``none`` marks a tick that chose to do nothing)
 ACTION_RELOCATE = "relocate"
@@ -66,6 +67,8 @@ ACTION_REJECT = "reject"
 ACTION_FOLD = "fold"
 ACTION_SPLIT = "split"
 ACTION_MERGE = "merge"
+ACTION_JOIN = "join"
+ACTION_DRAIN = "drain"
 
 #: which trace-span name each executed action must be justified by.
 #: Actions absent here (admission verdicts, idle ticks) never produce an
@@ -76,6 +79,10 @@ _SPAN_NAME_FOR_ACTION = {
     ACTION_SPILL: "spill",
     ACTION_SPLIT: "repartition",
     ACTION_MERGE: "repartition",
+    # a drain's state motion runs the standard relocation protocol, so an
+    # executed drain decision is justified by a "relocation" span; drains
+    # of an empty machine realize ``executed=False`` and are exempt
+    ACTION_DRAIN: "relocation",
 }
 
 
@@ -395,6 +402,23 @@ def _replay_admission(inputs: dict[str, Any]) -> dict[str, Any]:
     return {"action": ACTION_ADMIT}
 
 
+def _replay_membership(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of the coordinator's membership decisions
+    (:meth:`GlobalCoordinator.admit_worker` / the drain-target choice in
+    :meth:`GlobalCoordinator._start_drain`) over recorded inputs."""
+    if inputs["event"] == "join":
+        return {"action": ACTION_JOIN}
+    # drain: the receiver is the least-loaded live non-draining worker,
+    # (bytes, machine) tie-break — exactly the coordinator's min() key.
+    candidates = [
+        r for r in inputs["reports"] if r["machine"] != inputs["machine"]
+    ]
+    if not candidates:
+        return {"action": ACTION_NONE, "rule": "no_target"}
+    best = min(candidates, key=lambda r: (r["state_bytes"], r["machine"]))
+    return {"action": ACTION_DRAIN, "receiver": best["machine"]}
+
+
 def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
     """Re-evaluate a ledger entry's decision from its recorded inputs.
 
@@ -413,6 +437,8 @@ def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
         return _replay_admission(entry["inputs"])
     if entry["kind"] == KIND_REPARTITION:
         return _replay_repartition(entry["inputs"])
+    if entry["kind"] == KIND_MEMBERSHIP:
+        return _replay_membership(entry["inputs"])
     raise ValueError(f"unknown ledger entry kind {entry['kind']!r}")
 
 

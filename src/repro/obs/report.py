@@ -41,6 +41,8 @@ _MARKS = {
     "spill": "S",
     "split": "P",
     "merge": "M",
+    "join": "J",
+    "drain": "D",
 }
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
@@ -236,6 +238,45 @@ def _why_repartition(
     return sentence
 
 
+def _why_membership(
+    action: str, inputs: dict[str, Any], realized: dict[str, Any]
+) -> str:
+    machine = inputs.get("machine")
+    if action == "join":
+        sentence = (
+            f"admitted {machine} into the cluster "
+            f"(incarnation {inputs.get('incarnation', 0)}, now "
+            f"{len(inputs.get('workers', []))} workers)"
+        )
+        if inputs.get("rebalance_on_join"):
+            sentence += (
+                "; relocation spacing reset so the next evaluation may "
+                "target the empty joiner"
+            )
+        else:
+            sentence += "; tau_m spacing unchanged (rebalance_on_join off)"
+        return sentence
+    # action == "drain"
+    candidates = len(inputs.get("reports", []))
+    sentence = (
+        f"draining {machine}: chose {inputs.get('chosen_receiver')} as the "
+        f"least-loaded receiver among {candidates} live candidate(s)"
+    )
+    if realized.get("status") == "aborted":
+        sentence += f"; aborted ({realized.get('reason', 'unknown')})"
+    elif realized.get("executed") is False:
+        sentence += (
+            f"; nothing moved ({realized.get('reason', 'unknown')}) — "
+            f"retired immediately"
+        )
+    elif "bytes_moved" in realized:
+        sentence += (
+            f"; handed off {_fmt_bytes(realized['bytes_moved'])} in "
+            f"{_fmt_num(realized.get('duration', 0))}s, then retired"
+        )
+    return sentence
+
+
 def why(decision: dict[str, Any]) -> str:
     """One plain-English sentence explaining a ledger entry's decision,
     with the recorded numbers substituted into the rule that fired."""
@@ -251,6 +292,8 @@ def why(decision: dict[str, Any]) -> str:
         return _why_cluster_gc(inputs)
     if kind == "repartition" and action in ("split", "merge"):
         return _why_repartition(action, inputs, realized)
+    if kind == "membership":
+        return _why_membership(action, inputs, realized)
 
     if action == "relocate":
         elapsed = float(inputs.get("now", 0)) - float(
@@ -323,6 +366,8 @@ def why(decision: dict[str, Any]) -> str:
 
 
 def _decision_site(decision: dict[str, Any]) -> str:
+    if decision.get("kind") == "membership":
+        return str(decision["inputs"].get("machine", ""))
     if decision.get("kind") in ("gc_tick", "cluster_gc", "repartition"):
         if decision.get("action") == "relocate":
             return str(decision["inputs"].get("chosen_sender", ""))

@@ -66,6 +66,9 @@ class RecoveryManager:
         self.name = name
         #: workers currently considered failed (excluded from adaptations)
         self.dead: set[str] = set()
+        #: workers mid-drain (maintained by the coordinator) — alive, but
+        #: about to retire, so recovery must not re-home state onto them
+        self.draining: set[str] = set()
         self.session: RecoverySession | None = None
         self.history: list[RecoverySession] = []
         self._last_seen: dict[str, float] = {}
@@ -124,11 +127,24 @@ class RecoveryManager:
         self._last_seen[machine] = now
         known = self._incarnations.get(machine, 0)
         if machine in self.dead:
-            if not (self.active and self.session.machine == machine):
-                # the machine restarted after its recovery: rejoin, empty
+            if self.active and self.session.machine == machine:
+                return
+            if incarnation > known:
+                # the machine restarted after its recovery: rejoin, empty.
+                # Only a *strictly newer* incarnation counts — a pre-crash
+                # heartbeat delayed in the network still carries the old
+                # incarnation and must not resurrect the dead entry (its
+                # state was already re-homed; routing to it would drop and
+                # duplicate results).
                 self.dead.discard(machine)
                 self._incarnations[machine] = incarnation
-                self.metrics.events.record(now, "rejoin", machine)
+                self.metrics.events.record(
+                    now, "rejoin", machine, incarnation=incarnation
+                )
+            else:
+                self.metrics.events.record(
+                    now, "stale_heartbeat", machine, incarnation=incarnation
+                )
         elif incarnation > known:
             # It crashed and restarted faster than the failure detector's
             # timeout: its state silently vanished and was never recovered.
@@ -138,6 +154,37 @@ class RecoveryManager:
             self.metrics.events.record(
                 now, "recovery_missed", machine, incarnation=incarnation
             )
+
+    # ------------------------------------------------------------------
+    # Membership (elastic clusters)
+    # ------------------------------------------------------------------
+    def add_worker(self, machine: str, now: float, incarnation: int = 0) -> None:
+        """Admit ``machine`` to the monitored set (scale-out / rejoin).
+
+        Seeds ``_last_seen`` so the joiner gets a full ``failure_timeout``
+        grace period before its (not yet flowing) heartbeats could declare
+        it lost, and records its incarnation so stale heartbeats from a
+        previous life stay rejected.
+        """
+        if machine not in self.workers:
+            self.workers.append(machine)
+        self.dead.discard(machine)
+        self._last_seen[machine] = now
+        if incarnation > self._incarnations.get(machine, 0):
+            self._incarnations[machine] = incarnation
+
+    def retire_worker(self, machine: str) -> None:
+        """Remove ``machine`` from the monitored set (graceful scale-in).
+
+        A drained worker stops heartbeating by design; retiring it first
+        is what keeps the silence from being misclassified as a crash.
+        Its incarnation record is kept so a later rejoin must present a
+        strictly newer one.
+        """
+        if machine in self.workers:
+            self.workers.remove(machine)
+        self._last_seen.pop(machine, None)
+        self.dead.discard(machine)
 
     def tick(self, now: float, latest: Mapping[str, "StatsReport"]) -> None:
         """One failure-detector pass (from the coordinator's evaluate)."""
@@ -259,7 +306,13 @@ class RecoveryManager:
         self._plan_restore(session)
 
     def _plan_restore(self, session: RecoverySession) -> None:
-        survivors = [w for w in self.workers if w not in self.dead]
+        survivors = [
+            w for w in self.workers if w not in self.dead and w not in self.draining
+        ]
+        if not survivors:
+            # every live worker is mid-drain: better to strand the state on
+            # a draining machine (its drain will move it again) than lose it
+            survivors = [w for w in self.workers if w not in self.dead]
         session.advance("restoring")
         if not session.partition_ids:
             # the dead machine owned nothing — just finish the bookkeeping

@@ -117,7 +117,13 @@ class ClusterGC:
             ratios = [(over.get(name, 0.0), name) for name in member_tenants]
             overuse, worst_tenant = max(ratios)
             for name in sorted(group.deployment.engines):
-                store = group.deployment.engines[name].instance.store
+                engine = group.deployment.engines[name]
+                if not engine.alive:
+                    # drained (scaled-in) or crashed machines are not
+                    # spill candidates: their stores are empty and a
+                    # ``start_ss`` order would be dropped on delivery
+                    continue
+                store = engine.instance.store
                 rate = machine_productivity_rate(
                     store.outputs_total, store.group_count
                 )

@@ -28,21 +28,35 @@ from repro.workloads.generator import (
     WorkloadSpec,
     distinct_values,
 )
-from repro.workloads.patterns import AlternatingPattern, LoadPattern, UniformPattern
+from repro.workloads.patterns import (
+    AlternatingPattern,
+    DiurnalPattern,
+    LoadPattern,
+    UniformPattern,
+)
 from repro.workloads.queries import financial_query, three_way_join
+from repro.workloads.scenarios import (
+    RollingRestart,
+    diurnal_pattern,
+    membership_schedule,
+)
 
 __all__ = [
     "AlternatingPattern",
+    "DiurnalPattern",
     "LoadPattern",
     "PartitionWorkload",
+    "RollingRestart",
     "StreamWorkloadSpec",
     "TupleGenerator",
     "UniformPattern",
     "WorkloadForecast",
     "WorkloadSpec",
     "distinct_values",
+    "diurnal_pattern",
     "financial_query",
     "forecast",
+    "membership_schedule",
     "multiplicative_factor",
     "partition_output",
     "three_way_join",

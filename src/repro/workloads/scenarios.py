@@ -1,0 +1,172 @@
+"""Elasticity scenario families: diurnal load and rolling restarts.
+
+The membership machinery (``Deployment.add_machine`` / ``drain_machine``)
+is exercised by two canonical shapes:
+
+* **Diurnal load** — demand rotates across partition "regions" over a
+  day/night cycle (:class:`~repro.workloads.patterns.DiurnalPattern`);
+  operators scale the cluster out for the peak and back in for the
+  trough.  :func:`diurnal_pattern` builds the workload side;
+  :func:`membership_schedule` arms the timed join/drain side.
+* **Rolling restart** — every machine in turn is gracefully drained,
+  rested, and re-admitted under a fresh incarnation (a fleet-wide
+  upgrade).  :class:`RollingRestart` drives this *event-driven*: each
+  rejoin fires only after the previous drain actually completed, so the
+  scenario is robust to drains of any duration — a fixed timetable would
+  race the relocation protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.faults import FaultSchedule, MachineDrain, MachineJoin
+from repro.workloads.patterns import DiurnalPattern
+
+__all__ = ["RollingRestart", "diurnal_pattern", "membership_schedule"]
+
+
+def diurnal_pattern(
+    n_partitions: int,
+    regions: int,
+    period: float,
+    *,
+    factor: float = 4.0,
+    steps: int = 24,
+) -> DiurnalPattern:
+    """A :class:`DiurnalPattern` over ``regions`` contiguous pid chunks.
+
+    Partitions are divided into ``regions`` contiguous groups whose load
+    peaks are evenly staggered across one ``period``.
+    """
+    if regions <= 0:
+        raise ValueError("need at least one region")
+    if n_partitions < regions:
+        raise ValueError("need at least one partition per region")
+    bounds = [round(i * n_partitions / regions) for i in range(regions + 1)]
+    groups = [
+        frozenset(range(bounds[i], bounds[i + 1])) for i in range(regions)
+    ]
+    return DiurnalPattern(groups, period, factor=factor, steps=steps)
+
+
+def membership_schedule(
+    deployment,
+    *,
+    joins: Sequence[tuple[float, str]] = (),
+    drains: Sequence[tuple[float, str]] = (),
+) -> FaultSchedule:
+    """A :class:`FaultSchedule` of timed ``(time, machine)`` membership
+    changes — the declarative family for diurnal scale-out/scale-in.
+
+    The caller is responsible for feasible timings (a machine cannot be
+    re-admitted while its drain is still relocating state; use
+    :class:`RollingRestart` when completion times are unknown).
+    """
+    faults: list = [MachineJoin(t, deployment, name) for t, name in joins]
+    faults.extend(MachineDrain(t, deployment, name) for t, name in drains)
+    return FaultSchedule(faults)
+
+
+class RollingRestart:
+    """Drain → rest → rejoin every machine in sequence, event-driven.
+
+    Parameters
+    ----------
+    deployment:
+        The running :class:`~repro.engine.plan.Deployment`.
+    machines:
+        Worker names to cycle, in order (defaults to all workers at arm
+        time).
+    start:
+        Simulation time of the first drain request.
+    rest:
+        Seconds between a drain completing and the machine rejoining.
+    pause:
+        Seconds between a machine rejoining and the next drain request.
+
+    After :meth:`arm`, the schedule advances itself: each drain's
+    completion (the coordinator's ``on_drained`` callback, which this
+    class chains — the deployment's own engine-retirement hook still
+    runs first) triggers the rejoin, which triggers the next drain.
+    ``completed``/``aborted`` record the outcome per machine.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        machines: Sequence[str] | None = None,
+        *,
+        start: float = 0.0,
+        rest: float = 5.0,
+        pause: float = 5.0,
+    ) -> None:
+        if rest < 0 or pause < 0 or start < 0:
+            raise ValueError("start, rest and pause must be non-negative")
+        self.deployment = deployment
+        self.machines = list(machines) if machines is not None else None
+        self.start = start
+        self.rest = rest
+        self.pause = pause
+        self.completed: list[str] = []
+        self.aborted: list[tuple[str, str]] = []
+        self._queue: list[str] = []
+        self._armed = False
+
+    @property
+    def done(self) -> bool:
+        return self._armed and not self._queue
+
+    def arm(self) -> None:
+        """Schedule the first drain (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        names = (
+            self.machines
+            if self.machines is not None
+            else list(self.deployment.worker_names)
+        )
+        self._queue = list(names)
+        if self._queue:
+            self.deployment.sim.schedule_at(self.start, self._drain_next)
+
+    def _drain_next(self) -> None:
+        if not self._queue:
+            return
+        name = self._queue[0]
+        dep = self.deployment
+        prev_done = dep.coordinator.on_drained
+        prev_abort = dep.coordinator.on_drain_aborted
+        full = name if name.startswith(dep.namespace) else dep.namespace + name
+
+        def on_done(machine: str) -> None:
+            if prev_done is not None:
+                prev_done(machine)  # the deployment retires the engine
+            if machine == full:
+                dep.coordinator.on_drained = prev_done
+                dep.coordinator.on_drain_aborted = prev_abort
+                self.completed.append(name)
+                dep.sim.schedule_at(dep.sim.now + self.rest, self._rejoin, name)
+
+        def on_abort(machine: str, reason: str) -> None:
+            if prev_abort is not None:
+                prev_abort(machine, reason)
+            if machine == full:
+                dep.coordinator.on_drained = prev_done
+                dep.coordinator.on_drain_aborted = prev_abort
+                self.aborted.append((name, reason))
+                self._queue.pop(0)
+                # move on — the machine never left, so no rejoin is due
+                dep.sim.schedule_at(dep.sim.now + self.pause, self._drain_next)
+
+        dep.coordinator.on_drained = on_done
+        dep.coordinator.on_drain_aborted = on_abort
+        dep.drain_machine(name)
+
+    def _rejoin(self, name: str) -> None:
+        dep = self.deployment
+        dep.add_machine(name)
+        self._queue.pop(0)
+        if self._queue:
+            dep.sim.schedule_at(dep.sim.now + self.pause, self._drain_next)
