@@ -88,9 +88,70 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write the unified metrics registry in "
                              "Prometheus text format to PATH")
+    parser.add_argument("--latency", action="store_true",
+                        help="track end-to-end latency and print the "
+                             "per-cause breakdown table (processing, "
+                             "queueing, spilled, relocating, recovering, "
+                             "repartitioning) after the run; also enabled "
+                             "by REPRO_LATENCY=1")
+    parser.add_argument("--slo", metavar="p99=<ms>", default=None,
+                        help="arm a latency SLO, e.g. --slo p99=250 for a "
+                             "250 ms p99 target (implies --latency); the "
+                             "coordinator evaluates the burn rate every "
+                             "tick and the summary reports status and "
+                             "alerts; also armed by REPRO_SLO=<seconds>")
     parser.add_argument("--list", action="store_true",
                         help="list strategies and spill policies, then exit")
     return parser
+
+
+def parse_slo(spec: str | None):
+    """Parse ``--slo p99=<ms>`` into an :class:`~repro.obs.slo.SLOConfig`."""
+    if spec is None:
+        return None
+    from repro.obs.slo import SLOConfig
+
+    target = None
+    for part in spec.split(","):
+        key, _, value = part.partition("=")
+        if key.strip() != "p99" or not value:
+            raise SystemExit(f"--slo: expected p99=<ms>, got {part!r}")
+        try:
+            target = float(value) / 1000.0
+        except ValueError:
+            raise SystemExit(f"--slo: {value!r} is not a number of ms")
+    if target is None:
+        raise SystemExit("--slo needs p99=<ms>")
+    return SLOConfig(target_p99=target)
+
+
+def latency_block(lat, monitors=()) -> str:
+    """The per-cause latency table + SLO/watermark lines (CLI output)."""
+    lines = ["latency (per cause, seconds)"]
+    lines.append(f"  {'cause':<15} {'count':>12} {'p50':>10} "
+                 f"{'p99':>10} {'mean':>10}")
+    for cause, sketch in lat.breakdown().items():
+        lines.append(
+            f"  {cause:<15} {sketch.count:>12,} {sketch.quantile(0.5):>10.4f} "
+            f"{sketch.quantile(0.99):>10.4f} {sketch.mean():>10.4f}"
+        )
+    merged: dict[str, float] = {}
+    for tracker in lat.trackers.values():
+        for stream, ts in tracker.watermarks.items():
+            if ts > merged.get(stream, -1.0):
+                merged[stream] = ts
+    if merged:
+        lines.append("  watermarks: " + ", ".join(
+            f"{stream}={ts:.2f}" for stream, ts in sorted(merged.items())
+        ))
+    for monitor in monitors:
+        lines.append(
+            f"  slo {monitor.query} ({monitor.tenant or 'default'}): "
+            f"p99 target {monitor.slo.target_p99 * 1000.0:.0f} ms, "
+            f"status {monitor.status or 'no_results'}, "
+            f"{monitor.alerts} alerts, {monitor.stalls} stalls"
+        )
+    return "\n".join(lines)
 
 
 def parse_assignment(spec: str | None, workers: list[str]) -> dict | None:
@@ -144,9 +205,10 @@ def main(argv: list[str] | None = None) -> int:
         interarrival=args.interarrival_ms / 1000.0,
         seed=args.seed,
     )
+    slo = parse_slo(args.slo)
     if args.queries > 1:
         return _serving_main(args, workload, duration, sample_interval,
-                             tracer, ledger)
+                             tracer, ledger, slo)
     result = run_experiment(
         args.strategy,
         workload,
@@ -166,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         tracer=tracer,
         ledger=ledger,
+        latency=args.latency,
+        slo=slo,
     )
 
     if tracer is not None:
@@ -234,6 +298,16 @@ def main(argv: list[str] | None = None) -> int:
         "state in memory (B)": f"{numbers['state_in_memory_bytes']:,}",
         "state on disk (B)": f"{numbers['state_on_disk_bytes']:,}",
     }
+    lat = result.deployment.metrics.latency
+    if lat is not None:
+        monitors = result.deployment.coordinator.slo_monitors
+        print(latency_block(lat, monitors))
+        print()
+        e2e = lat.merged("e2e")
+        numbers["latency_p99_s"] = e2e.quantile(0.99)
+        numbers["latency_results"] = e2e.count
+        if monitors:
+            numbers["slo_alerts"] = sum(m.alerts for m in monitors)
     if result.cleanup is not None:
         summary["cleanup results"] = f"{numbers['cleanup_results']:,}"
         summary["cleanup wall (s)"] = f"{numbers['cleanup_wall_s']:.1f}"
@@ -257,7 +331,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _serving_main(args, workload, duration, sample_interval,
-                  tracer, ledger) -> int:
+                  tracer, ledger, slo=None) -> int:
     """``--queries N`` mode: N identical submissions on one QueryServer."""
     from repro.bench.harness import run_serving
 
@@ -279,6 +353,8 @@ def _serving_main(args, workload, duration, sample_interval,
         seed=args.seed,
         tracer=tracer,
         ledger=ledger,
+        latency=args.latency,
+        slo=slo,
     )
     server = serving.server
 
@@ -321,6 +397,11 @@ def _serving_main(args, workload, duration, sample_interval,
         print(f"  {handle.qid} ({handle.tenant}): "
               f"{handle.total_outputs:,} outputs [{line}]")
     print()
+    lat = server.metrics.latency
+    if lat is not None:
+        monitors = [lat.monitors[qid] for qid in sorted(lat.monitors)]
+        print(latency_block(lat, monitors))
+        print()
     summary = {
         "queries": args.queries,
         "fold": args.fold,

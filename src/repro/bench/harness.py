@@ -72,6 +72,8 @@ def run_experiment(
     seed: int = 11,
     tracer=None,
     ledger=None,
+    latency: bool = False,
+    slo=None,
 ) -> RunResult:
     """Build, run, and optionally clean up one configuration.
 
@@ -80,6 +82,12 @@ def run_experiment(
     parameters.  ``data_path`` selects the delivery representation —
     ``tuple``, ``batched`` (default) or ``columnar`` — which changes
     wall-clock cost only; outputs and adaptation behaviour are identical.
+
+    Latency attribution hooks in the ``REPRO_TRACE=check`` style:
+    ``REPRO_LATENCY=1`` turns on end-to-end latency tracking for every
+    run, and ``REPRO_SLO=<seconds>`` additionally arms an SLO with that
+    p99 target (implies latency), so existing benchmark suites can be
+    audited for latency behaviour without touching their code.
     """
     check_invariants = False
     if tracer is None and os.environ.get("REPRO_TRACE") == "check":
@@ -91,6 +99,16 @@ def run_experiment(
             from repro.obs.ledger import DecisionLedger
 
             ledger = DecisionLedger()
+    if not latency and os.environ.get("REPRO_LATENCY"):
+        latency = True
+    if slo is None:
+        env_slo = os.environ.get("REPRO_SLO")
+        if env_slo:
+            from repro.obs.slo import SLOConfig
+
+            slo = SLOConfig(target_p99=float(env_slo))
+    if slo is not None:
+        latency = True
     overrides = dict(
         memory_threshold=memory_threshold,
         ss_interval=5.0,
@@ -112,6 +130,8 @@ def run_experiment(
         seed=seed,
         tracer=tracer,
         ledger=ledger,
+        latency=latency,
+        slo=slo,
     )
     deployment.run(duration=duration, sample_interval=sample_interval)
     result = RunResult(label=label, deployment=deployment)
@@ -170,6 +190,8 @@ def run_serving(
     tail: float = 30.0,
     tracer=None,
     ledger=None,
+    latency: bool = False,
+    slo=None,
 ) -> ServingResult:
     """Run ``n_queries`` identical submissions on one :class:`QueryServer`.
 
@@ -206,12 +228,23 @@ def run_serving(
         ]
     if cluster_capacity is None:
         cluster_capacity = demand * n_queries * 2
+    if not latency and os.environ.get("REPRO_LATENCY"):
+        latency = True
+    if slo is None:
+        env_slo = os.environ.get("REPRO_SLO")
+        if env_slo:
+            from repro.obs.slo import SLOConfig
+
+            slo = SLOConfig(target_p99=float(env_slo))
+    if slo is not None:
+        latency = True
     server = QueryServer(
         tenants,
         cluster_capacity=cluster_capacity,
         fold_enabled=fold,
         tracer=tracer,
         ledger=ledger,
+        latency=latency,
     )
     handles = []
     for i in range(n_queries):
@@ -224,6 +257,7 @@ def run_serving(
             duration=duration,
             data_path=data_path,
             seed=seed,
+            slo=slo,
         )))
     server.run_for(duration + tail, sample_interval=sample_interval)
     server.finish()

@@ -179,6 +179,10 @@ class GlobalCoordinator:
         self.on_drain_aborted = None
         #: optional crash-recovery driver (repro.recovery.RecoveryManager)
         self.recovery = None
+        #: SLO burn-rate evaluators (repro.obs.slo.SLOMonitor) ticked from
+        #: the same deterministic evaluation loop — one per query with an
+        #: SLO served by this runtime (folded members each get their own)
+        self.slo_monitors: list = []
         #: split/merge protocol driver (inert unless repartition_enabled)
         self.repartition = RepartitionManager(self, n_partitions)
         network.register(name, self.deliver)
@@ -575,6 +579,8 @@ class GlobalCoordinator:
         the GC decision loop."""
         self.stats.evaluations += 1
         ledger = self.metrics.ledger
+        for monitor in self.slo_monitors:
+            monitor.evaluate(self.sim.now)
         if self.recovery is not None:
             self.recovery.tick(self.sim.now, self.latest)
             for machine in self.recovery.dead:

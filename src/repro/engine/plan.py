@@ -136,6 +136,18 @@ class Deployment:
         Extra label dimensions (e.g. ``{"tenant": ..., "query": ...}``)
         merged into every metric family this deployment's components
         publish.
+    latency:
+        Opt into end-to-end latency attribution (:mod:`repro.obs.slo`):
+        every engine gets an ``EngineTracker`` recording per-cause latency
+        sketches and event-time watermarks.  Off by default — a disabled
+        run pays one ``is not None`` test per batch and its outputs,
+        traces and run files stay byte-identical.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOConfig` for this query.
+        Requires ``latency=True``; builds an :class:`~repro.obs.slo.SLOMonitor`
+        evaluated from the coordinator's own loop, recording replayable
+        ``slo_check`` ledger entries and firing ``slo.alert`` events on
+        burn-rate breaches.
     """
 
     def __init__(
@@ -167,6 +179,8 @@ class Deployment:
         collector=None,
         coordinator_factory=None,
         metric_labels: dict[str, str] | None = None,
+        latency: bool = False,
+        slo=None,
     ) -> None:
         if data_path is None:
             data_path = "batched" if batched_data_path else "tuple"
@@ -353,6 +367,41 @@ class Deployment:
         # graceful scale-in: once the coordinator finished relocating a
         # draining machine's state, retire its engine (flush + stop)
         self.coordinator.on_drained = self._on_machine_drained
+
+        # --- latency attribution + SLO (repro.obs.slo, opt-in) ------------
+        if slo is not None and not latency:
+            raise ValueError("an SLO needs latency tracking: pass latency=True")
+        self.slo = slo
+        self.slo_monitor = None
+        self._latency_enabled = latency
+        self._lat_labels: dict[str, str] = {}
+        if latency:
+            lat = self.metrics.enable_latency()
+            query = self.metric_labels.get("query") or (
+                namespace.rstrip(":") or "q0"
+            )
+            tenant = self.metric_labels.get("tenant", "")
+            self._lat_labels = {"query": query, "tenant": tenant}
+            for name, engine in self.engines.items():
+                engine.attach_latency(
+                    lat.tracker(name, labels=self._lat_labels)
+                )
+            if slo is not None:
+                from repro.obs.slo import SLOMonitor
+
+                self.slo_monitor = SLOMonitor(
+                    lat,
+                    query=query,
+                    tenant=tenant,
+                    slo=slo,
+                    machines=list(self.engines),
+                    site=self.coordinator_name,
+                    ledger=self.metrics.ledger,
+                    tracer=self.metrics.tracer,
+                    events=self.metrics.events,
+                )
+                lat.monitors[query] = self.slo_monitor
+                self.coordinator.slo_monitors.append(self.slo_monitor)
 
         # --- crash-fault tolerance (repro.recovery, opt-in) ---------------
         self.registry = None
@@ -568,6 +617,12 @@ class Deployment:
         self.instances[name] = instance
         self.engines[name] = engine
         self.worker_names.append(name)
+        if self._latency_enabled:
+            engine.attach_latency(
+                self.metrics.latency.tracker(name, labels=self._lat_labels)
+            )
+            for monitor in self.coordinator.slo_monitors:
+                monitor.machines = monitor.machines + (name,)
         if self.registry is not None:
             from repro.recovery import CheckpointManager
 

@@ -131,7 +131,11 @@ class QueryEngine:
         #: (the paper's application server) instead of being credited
         #: locally
         self.app_server = app_server
-        self.mode = MODE_NORMAL
+        #: EngineTracker once the run opts into latency/SLO attribution
+        #: (see attach_latency); ``None`` keeps the hot path at a single
+        #: ``is not None`` test per batch — the zero-overhead contract.
+        self._lat = None
+        self._mode = MODE_NORMAL
         executor = SpillExecutor(
             machine, disk, instance.store, cost,
             tracer=metrics.tracer, ledger=metrics.ledger,
@@ -198,6 +202,27 @@ class QueryEngine:
     def name(self) -> str:
         return self.machine.name
 
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @mode.setter
+    def mode(self, new_mode: str) -> None:
+        # Every protocol already funnels its pause/resume through this
+        # assignment, so the latency tracker's cause windows (spilled /
+        # relocating / repartitioning) open and close here for free.
+        old = self._mode
+        self._mode = new_mode
+        if self._lat is not None and new_mode != old:
+            self._lat.on_mode(
+                new_mode, self._pending_repartition is not None, self.sim.now
+            )
+
+    def attach_latency(self, tracker) -> None:
+        """Opt this engine into end-to-end latency attribution; ``tracker``
+        is this machine's :class:`repro.obs.slo.EngineTracker`."""
+        self._lat = tracker
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -251,6 +276,11 @@ class QueryEngine:
         self._forced_spill_reply_to = None
         self._markers_seen.clear()
         self.mode = MODE_NORMAL
+        if self._lat is not None:
+            # buffered-result latencies die with the buffer; watermarks
+            # reset under the bumped incarnation (invariant check 11's
+            # crash-recovery adoption exemption)
+            self._lat.on_crash(self.sim.now)
         self.metrics.events.record(
             self.sim.now,
             "crash",
@@ -368,7 +398,20 @@ class QueryEngine:
                     collected.extend(results)
         duration = len(batch) * self.cost.probe_cost + total * self.cost.result_cost
         self._observe_batch(len(batch), total, duration)
-        return duration, self._finisher(total, collected)
+        lat_ctx = None
+        if self._lat is not None:
+            # Watermark frontier = each stream's *last arrival* in the
+            # batch.  Sources emit in event order, so this is the batch
+            # max; replayed segments only make it momentarily
+            # conservative (max-merge keeps the watermark monotone), and
+            # the definition is arrival-order based so every data path
+            # computes identical values.
+            wm: dict[str, float] = {}
+            for _pid, tup in reversed(batch):
+                if tup.stream not in wm:
+                    wm[tup.stream] = tup.ts
+            lat_ctx = (self.sim.now, self._lat.advance_watermarks(wm))
+        return duration, self._finisher(total, collected, lat_ctx)
 
     def _process_columns(self, cb):
         total, collected = self.instance.process_columns(
@@ -376,7 +419,41 @@ class QueryEngine:
         )
         duration = len(cb) * self.cost.probe_cost + total * self.cost.result_cost
         self._observe_batch(len(cb), total, duration)
-        return duration, self._finisher(total, collected)
+        lat_ctx = None
+        if self._lat is not None:
+            # Same last-arrival frontier as the tuple path.  Storage
+            # order is segmented by partition, so walk *arrival* order
+            # backwards through ``perm`` and stop once every stream has
+            # been seen — interleaved sources make this O(#streams), not
+            # O(batch), which keeps the enabled-mode overhead inside the
+            # ``latency_overhead`` regress budget.
+            sids, tss, perm = cb.sids, cb.ts, cb.perm
+            names = cb.streams
+            n_present = len(set(sids))  # C speed
+            if n_present == 1:
+                # sources batch per stream, so this is the common case:
+                # the frontier is just the arrival-order last row
+                row = perm[-1] if perm is not None else -1
+                lat_ctx = (
+                    self.sim.now,
+                    self._lat.advance_one(names[sids[row]], tss[row]),
+                )
+            else:
+                seen: dict[int, float] = {}
+                rows = (
+                    range(len(sids) - 1, -1, -1)
+                    if perm is None
+                    else (perm[i] for i in range(len(perm) - 1, -1, -1))
+                )
+                for row in rows:
+                    sid = sids[row]
+                    if sid not in seen:
+                        seen[sid] = tss[row]
+                        if len(seen) == n_present:
+                            break
+                wm = {names[sid]: ts for sid, ts in seen.items()}
+                lat_ctx = (self.sim.now, self._lat.advance_watermarks(wm))
+        return duration, self._finisher(total, collected, lat_ctx)
 
     def _observe_batch(self, batch_len: int, total: int, duration: float) -> None:
         now = self.sim.now
@@ -384,8 +461,22 @@ class QueryEngine:
         self._h_batch_probe.observe(duration, ts=now)
         self._h_batch_results.observe(total, ts=now)
 
-    def _finisher(self, total: int, collected: list):
+    def _finisher(self, total: int, collected: list, lat_ctx=None):
         def finish() -> None:
+            lat = self._lat
+            if lat is not None and lat_ctx is not None and total:
+                # finish() runs at the credit instant; checkpointed
+                # engines hold the observation until the output commit
+                # (flush_outputs) so e2e covers the buffering delay.
+                t_run, ts_rep = lat_ctx
+                now = self.sim.now
+                res = collected if (lat.hub.materialize and collected) else None
+                if self.checkpointer is not None:
+                    lat.hold(t_run, now, res, total, ts_rep)
+                else:
+                    lat.observe(
+                        t_run, now, now, results=res, count=total, ts_rep=ts_rep
+                    )
             if self.checkpointer is not None:
                 # Output-commit-at-checkpoint: results stay buffered until
                 # the state that produced them is durable, so a crash can
@@ -412,6 +503,8 @@ class QueryEngine:
         total = self._output_buffer_count
         if not total:
             return
+        if self._lat is not None:
+            self._lat.flush_pending(self.sim.now)
         collected = self._output_buffer
         self._output_buffer = []
         self._output_buffer_count = 0
@@ -789,8 +882,10 @@ class QueryEngine:
                 RepartitionAck(self.name, False, reason="stale_target"),
             )
             return
-        self.mode = MODE_SR
+        # pending set before the mode flips so the latency tracker's mode
+        # hook classifies the pause as "repartitioning", not "relocating"
         self._pending_repartition = order
+        self.mode = MODE_SR
         self._markers_seen.clear()
         self._send_gc("repartition_ack", RepartitionAck(self.name, True))
 
@@ -956,6 +1051,16 @@ class QueryEngine:
             small_groups=small,
         )
         self._send_gc("stats", report)
+        lat = self._lat
+        if lat is not None and lat.watermarks:
+            tracer = self.metrics.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "engine.watermark",
+                    machine=self.name,
+                    watermarks=dict(sorted(lat.watermarks.items())),
+                    incarnation=self.incarnation,
+                )
 
     def _send_gc(self, kind: str, payload) -> None:
         self.network.send(

@@ -14,6 +14,8 @@ from repro.obs.ledger import (
 )
 from repro.obs.ledger import load_jsonl as load_ledger_jsonl
 from repro.obs.metrics import MetricsRegistry, Sample, TimeSeries
+from repro.obs.sketch import LatencySketch
+from repro.obs.slo import LatencyHub, SLOConfig, SLOMonitor
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, load_jsonl
 
 __all__ = [
@@ -21,8 +23,12 @@ __all__ = [
     "DecisionLedger",
     "EventLog",
     "InvariantChecker",
+    "LatencyHub",
+    "LatencySketch",
     "MetricsRegistry",
     "ObsHub",
+    "SLOConfig",
+    "SLOMonitor",
     "NULL_LEDGER",
     "NULL_TRACER",
     "NullLedger",

@@ -14,7 +14,12 @@ extra plumbing:
   (the shared no-op :data:`~repro.obs.trace.NULL_TRACER` unless a run
   opts in);
 * ``ledger`` — the :class:`~repro.obs.ledger.DecisionLedger`
-  (:data:`~repro.obs.ledger.NULL_LEDGER` unless a run opts in).
+  (:data:`~repro.obs.ledger.NULL_LEDGER` unless a run opts in);
+* ``latency`` — the :class:`~repro.obs.slo.LatencyHub` of end-to-end
+  latency trackers and SLO monitors (``None`` unless a run opts in via
+  :meth:`ObsHub.enable_latency`; every producer guards its latency work
+  behind an ``is not None`` test, the same zero-overhead contract the
+  tracer and ledger follow).
 
 The hub replaces the old ``repro.cluster.metrics.MetricsHub`` shim.  The
 shim's re-plumbing methods (``series`` / ``has_series`` / ``series_names``
@@ -41,6 +46,18 @@ class ObsHub:
         self.events = EventLog(observer=self._observe_event)
         self.tracer = NULL_TRACER
         self.ledger = NULL_LEDGER
+        self.latency = None
+
+    def enable_latency(self, *, materialize: bool = True):
+        """Opt this hub into latency/SLO tracking (idempotent); returns
+        the :class:`~repro.obs.slo.LatencyHub`, registered as a pull
+        collector so its sketches and watermarks reach every exposition."""
+        if self.latency is None:
+            from repro.obs.slo import LatencyHub
+
+            self.latency = LatencyHub(materialize=materialize)
+            self.registry.register_collector(self.latency.publish_metrics)
+        return self.latency
 
     def _observe_event(self, event: AdaptationEvent) -> None:
         """Mirror an adaptation event into the registry (counter + size /

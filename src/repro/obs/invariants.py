@@ -51,6 +51,12 @@ adaptation protocols, independent of any particular workload:
     trace activity until ``engine.revive`` — the only exception is the
     post-run ``cleanup.*`` phase, which merges spilled fragments left on
     the retired machine's disk by design.
+11. **Watermark monotonicity** — an engine's per-stream low-watermark
+    (``engine.watermark`` events, emitted with its statistics reports
+    when latency tracking is on) never regresses within one incarnation.
+    Only crash-recovery adoption may lower it: the restarted engine
+    reports under a strictly larger incarnation while it rebuilds event
+    time from the replayed suffix.
 
 ``check_trace(events)`` returns a list of :class:`Violation`; an empty
 list means the trace upholds every contract.  The checker needs only the
@@ -166,7 +172,10 @@ class InvariantChecker:
         # bytes route to the surviving parent after the merge
         self._merge_redirect: dict[tuple[str, int], int] = {}
         self._cleanup_ran_stages: set[str] = set()
-        # spill/relocation begin events, kept for check_ledger (check 8)
+        # check 11: (machine, stream) -> (incarnation, watermark) last seen
+        self._watermarks: dict[tuple[str, str], tuple[int, float]] = {}
+        # spill/relocation begin events + slo.alert instants, kept for
+        # check_ledger (check 8)
         self._adaptation_spans: list[TraceEvent] = []
 
     # ------------------------------------------------------------------
@@ -242,6 +251,8 @@ class InvariantChecker:
                 "membership.retire": self._on_member_retire,
                 "engine.drained": self._on_engine_drained,
                 "engine.revive": self._on_engine_revive,
+                "engine.watermark": self._on_watermark,
+                "slo.alert": self._on_slo_alert,
             }.get(e.name)
             if handler is not None:
                 handler(e)
@@ -633,6 +644,42 @@ class InvariantChecker:
                 f"repartition span {state.span}: flush before pause",
                 e,
             )
+
+    # ------------------------------------------------------------------
+    # Watermarks (check 11) and SLO alerts (check 8 extension)
+    # ------------------------------------------------------------------
+    def _on_watermark(self, e: TraceEvent) -> None:
+        incarnation = int(e.get("incarnation", 0))
+        for sid, wm in sorted((e.get("watermarks", {}) or {}).items()):
+            key = (e.machine, str(sid))
+            wm = float(wm)
+            prev = self._watermarks.get(key)
+            if prev is not None:
+                prev_inc, prev_wm = prev
+                if incarnation < prev_inc:
+                    self._fail(
+                        "watermark-monotonic",
+                        f"machine {e.machine!r} stream {sid!r} reported under "
+                        f"stale incarnation {incarnation} < {prev_inc}",
+                        e,
+                    )
+                    continue
+                if incarnation == prev_inc and wm < prev_wm:
+                    self._fail(
+                        "watermark-monotonic",
+                        f"machine {e.machine!r} stream {sid!r} watermark "
+                        f"regressed {prev_wm!r} -> {wm!r} within incarnation "
+                        f"{incarnation} (only crash-recovery adoption may "
+                        f"lower a watermark)",
+                        e,
+                    )
+                    continue
+            self._watermarks[key] = (incarnation, wm)
+
+    def _on_slo_alert(self, e: TraceEvent) -> None:
+        # kept for the ledger bijection: every alert event must name
+        # exactly one breaching slo_check entry (check_ledger_trace)
+        self._adaptation_spans.append(e)
 
     # ------------------------------------------------------------------
     # End-of-trace checks

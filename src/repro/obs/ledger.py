@@ -37,7 +37,7 @@ import json
 from typing import Any, Callable, Iterable
 
 from repro.obs.invariants import Violation
-from repro.obs.trace import PHASE_BEGIN, TraceEvent, _json_safe
+from repro.obs.trace import PHASE_BEGIN, PHASE_INSTANT, TraceEvent, _json_safe
 
 __all__ = [
     "DecisionLedger",
@@ -56,6 +56,7 @@ KIND_CLUSTER_GC = "cluster_gc"
 KIND_ADMISSION = "admission"
 KIND_REPARTITION = "repartition"
 KIND_MEMBERSHIP = "membership"
+KIND_SLO = "slo_check"
 
 #: actions (``none`` marks a tick that chose to do nothing)
 ACTION_RELOCATE = "relocate"
@@ -419,6 +420,17 @@ def _replay_membership(inputs: dict[str, Any]) -> dict[str, Any]:
     return {"action": ACTION_DRAIN, "receiver": best["machine"]}
 
 
+def _replay_slo(inputs: dict[str, Any]) -> dict[str, Any]:
+    """Mirror of :class:`repro.obs.slo.SLOMonitor`'s burn-rate cascade.
+    The cascade itself is pure arithmetic over the recorded inputs and is
+    shared with the live monitor (same module, same function), so the
+    replay is the evaluation."""
+    from repro.obs.slo import _slo_cascade
+
+    action, rule, _ = _slo_cascade(inputs)
+    return {"action": action, "rule": rule}
+
+
 def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
     """Re-evaluate a ledger entry's decision from its recorded inputs.
 
@@ -439,6 +451,8 @@ def replay_decision(entry: dict[str, Any]) -> dict[str, Any]:
         return _replay_repartition(entry["inputs"])
     if entry["kind"] == KIND_MEMBERSHIP:
         return _replay_membership(entry["inputs"])
+    if entry["kind"] == KIND_SLO:
+        return _replay_slo(entry["inputs"])
     raise ValueError(f"unknown ledger entry kind {entry['kind']!r}")
 
 
@@ -499,14 +513,22 @@ def check_ledger_trace(
     """Assert the span↔entry mapping is bijective: every ``spill`` /
     ``relocation`` / ``repartition`` trace span is justified by exactly
     one executed ledger entry, and every executed entry points at exactly
-    one span of the right name."""
+    one span of the right name.  SLO breaches are instant events rather
+    than spans, so they get their own bijection: every ``slo.alert``
+    trace event names exactly one breaching ``slo_check`` entry and vice
+    versa (a dropped alert event or a forged alert entry both surface)."""
     violations = []
+    entries = list(entries)
     spans: dict[int, TraceEvent] = {}
+    alert_events: list[TraceEvent] = []
     for event in events:
         if event.phase == PHASE_BEGIN and event.name in (
             "spill", "relocation", "repartition",
         ):
             spans[event.span] = event
+        elif event.phase == PHASE_INSTANT and event.name == "slo.alert":
+            alert_events.append(event)
+    violations.extend(_check_slo_alerts(alert_events, entries))
     claimed: dict[int, int] = {}  # span id -> entry id
     for entry in entries:
         if not _executed(entry):
@@ -576,6 +598,64 @@ def check_ledger_trace(
                     f"no justifying ledger entry"
                 ),
                 seq=event.seq,
+            )
+        )
+    return violations
+
+
+#: slo_check actions that must be mirrored by a ``slo.alert`` trace event
+_SLO_ALERT_ACTIONS = ("alert", "budget_exhausted")
+
+
+def _check_slo_alerts(
+    alert_events: list[TraceEvent],
+    entries: list[dict[str, Any]],
+) -> list[Violation]:
+    violations = []
+    alert_entries = {
+        entry["id"]: entry
+        for entry in entries
+        if entry["kind"] == KIND_SLO and entry["action"] in _SLO_ALERT_ACTIONS
+    }
+    claimed: set[int] = set()
+    for event in alert_events:
+        entry_id = event.get("entry")
+        if not isinstance(entry_id, int) or entry_id not in alert_entries:
+            violations.append(
+                Violation(
+                    check="ledger_trace",
+                    message=(
+                        f"slo.alert event for query "
+                        f"{event.get('query')!r} names ledger entry "
+                        f"{entry_id!r}, which is not a breaching slo_check "
+                        f"entry"
+                    ),
+                    seq=event.seq,
+                )
+            )
+        elif entry_id in claimed:
+            violations.append(
+                Violation(
+                    check="ledger_trace",
+                    message=(
+                        f"slo_check entry {entry_id} claimed by more than "
+                        f"one slo.alert event"
+                    ),
+                    seq=event.seq,
+                )
+            )
+        else:
+            claimed.add(entry_id)
+    for entry_id in sorted(set(alert_entries) - claimed):
+        entry = alert_entries[entry_id]
+        violations.append(
+            Violation(
+                check="ledger_trace",
+                message=(
+                    f"breaching slo_check entry {entry_id} "
+                    f"({entry['action']}) has no slo.alert trace event"
+                ),
+                seq=entry_id,
             )
         )
     return violations

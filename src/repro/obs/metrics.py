@@ -231,6 +231,23 @@ class Histogram(_Instrument):
         self.count += 1
         self._stamp(ts)
 
+    def set_counts(self, bucket_counts, *, sum: float, count: int,
+                   ts: float | None = None) -> None:
+        """Pull-collection entry point: overwrite the whole distribution
+        with a component-owned one (e.g. a latency sketch's bucket counts
+        copied in at exposition time).  ``bucket_counts`` must have one
+        slot per bucket plus the +Inf slot."""
+        if len(bucket_counts) != len(self.family.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.family.name!r} expects "
+                f"{len(self.family.buckets) + 1} bucket counts, got "
+                f"{len(bucket_counts)}"
+            )
+        self.bucket_counts = [int(n) for n in bucket_counts]
+        self.sum = float(sum)
+        self.count = int(count)
+        self._stamp(ts)
+
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 

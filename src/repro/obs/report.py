@@ -9,7 +9,11 @@ markdown (or, with ``--html``, HTML) report showing
   with the adaptation decisions that shaped them, and
 * a chronological decision log where every entry carries a plain-English
   *why* line derived from its recorded rule inputs (numbers substituted
-  into the predicate that fired).
+  into the predicate that fired), and
+* for runs that tracked latency (``--latency``), the per-cause latency
+  breakdown rebuilt from the run file's sketch histograms, a "why was
+  p99 high" narrative naming the dominant adaptation cause, and the
+  final SLO status per monitored query.
 
 ``--diff other.jsonl`` compares two runs side by side — same workload
 under two strategies, or a before/after of a tuning change.
@@ -24,6 +28,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs.sketch import LatencySketch
 
 __all__ = [
     "RunData",
@@ -43,7 +49,16 @@ _MARKS = {
     "merge": "M",
     "join": "J",
     "drain": "D",
+    "alert": "!",
+    "budget_exhausted": "!",
 }
+
+#: run-file histogram family holding the per-cause latency sketches
+_LATENCY_HIST = "repro_latency_seconds"
+
+#: cause order mirrored from :mod:`repro.obs.slo` (report has no live hub)
+_ADAPT_CAUSES = ("spilled", "relocating", "recovering", "repartitioning")
+_CAUSE_ORDER = ("e2e", "processing", "queueing") + _ADAPT_CAUSES
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 _CHART_WIDTH = 64
@@ -277,6 +292,40 @@ def _why_membership(
     return sentence
 
 
+def _why_slo(action: str, inputs: dict[str, Any]) -> str:
+    query = inputs.get("query")
+    tenant = inputs.get("tenant")
+    target = float(inputs.get("target_p99", 0.0)) * 1000.0
+    budget = inputs.get("error_budget", 0)
+    burn = _fmt_num(inputs.get("burn_rate", 0))
+    window = (
+        f"{inputs.get('window_bad', 0)} of {inputs.get('window_total', 0)} "
+        f"results in the burn window over the {target:.0f} ms target"
+    )
+    if action == "no_results":
+        return (
+            f"slo check for query {query!r} (tenant {tenant!r}): no results "
+            f"emitted inside the burn window"
+        )
+    if action == "budget_exhausted":
+        return (
+            f"SLO breach for query {query!r} (tenant {tenant!r}): cumulative "
+            f"bad {inputs.get('bad', 0)} >= error_budget "
+            f"{_fmt_num(budget)} x total {inputs.get('total', 0)} "
+            f"({target:.0f} ms p99 target) — error budget exhausted"
+        )
+    if action == "alert":
+        return (
+            f"SLO burn alert for query {query!r} (tenant {tenant!r}): "
+            f"burn rate {burn} >= alert threshold "
+            f"{_fmt_num(inputs.get('burn_alert', 0))} ({window})"
+        )
+    return (
+        f"query {query!r} (tenant {tenant!r}) within budget: burn rate "
+        f"{burn} < {_fmt_num(inputs.get('burn_alert', 0))} ({window})"
+    )
+
+
 def why(decision: dict[str, Any]) -> str:
     """One plain-English sentence explaining a ledger entry's decision,
     with the recorded numbers substituted into the rule that fired."""
@@ -288,6 +337,8 @@ def why(decision: dict[str, Any]) -> str:
 
     if kind == "admission":
         return _why_admission(action, rule, inputs)
+    if kind == "slo_check":
+        return _why_slo(action, inputs)
     if kind == "cluster_gc" and action == "forced_spill":
         return _why_cluster_gc(inputs)
     if kind == "repartition" and action in ("split", "merge"):
@@ -479,6 +530,155 @@ def _acted(decisions: list[dict[str, Any]]) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Latency attribution (rebuilt from the run file's sketch histograms)
+# ----------------------------------------------------------------------
+def _latency_sketches(
+    run: RunData,
+) -> dict[tuple[str, str], dict[str, LatencySketch]]:
+    """Per-(query, tenant) per-cause sketches, rebuilt losslessly from the
+    ``repro_latency_seconds`` histogram rows (bucket counts are the
+    sketch's native representation, so quantiles here equal the live
+    hub's)."""
+    groups: dict[tuple[str, str], dict[str, LatencySketch]] = {}
+    for hist in run.hists:
+        if hist.get("name") != _LATENCY_HIST:
+            continue
+        labels = hist.get("labels", {})
+        counts = [
+            int(n)
+            for _, n in sorted(
+                hist.get("buckets", {}).items(), key=lambda kv: float(kv[0])
+            )
+        ]
+        key = (labels.get("query", ""), labels.get("tenant", ""))
+        groups.setdefault(key, {})[labels.get("cause", "")] = (
+            LatencySketch.from_bucket_counts(counts)
+        )
+    return groups
+
+
+def _why_p99(causes: dict[str, LatencySketch]) -> list[str]:
+    """The "why was p99 high" narrative for one query's cause breakdown:
+    name the adaptation cause carrying the most latency mass, or call the
+    latency steady-state when no adaptation contributed."""
+    e2e = causes.get("e2e")
+    if e2e is None or e2e.count == 0:
+        return []
+    mass = {
+        cause: causes[cause].sum()
+        for cause in _CAUSE_ORDER[1:]
+        if cause in causes
+    }
+    total = sum(mass.values())
+    head = (
+        f"Why was p99 high? e2e p99 = {e2e.quantile(0.99):.4f}s over "
+        f"{e2e.count:,} results."
+    )
+    if total <= 0:
+        return [head, "No latency mass recorded beyond the e2e sketch."]
+    dominant = max(mass, key=lambda c: mass[c])
+    adapt = {c: m for c, m in mass.items() if c in _ADAPT_CAUSES and m > 0}
+    if dominant in _ADAPT_CAUSES:
+        sketch = causes[dominant]
+        detail = (
+            f"Dominant cause: `{dominant}` — {mass[dominant] / total:.0%} "
+            f"of the total latency mass (cause p99 "
+            f"{sketch.quantile(0.99):.4f}s): the tail is adaptation-made."
+        )
+    else:
+        detail = (
+            f"Dominant cause: `{dominant}` — {mass[dominant] / total:.0%} "
+            f"of the total latency mass (cause p99 "
+            f"{causes[dominant].quantile(0.99):.4f}s)."
+        )
+        if adapt:
+            worst = max(adapt, key=lambda c: adapt[c])
+            detail += (
+                f" Largest adaptation contributor: `{worst}` "
+                f"({adapt[worst] / total:.0%}, cause p99 "
+                f"{causes[worst].quantile(0.99):.4f}s)."
+            )
+        else:
+            detail += " No adaptation latency was recorded."
+    return [head, detail]
+
+
+def _slo_decision_lines(run: RunData) -> list[str]:
+    """One line per SLO-monitored query: final recorded status + alert
+    tally, derived purely from the replayable ``slo_check`` entries."""
+    last: dict[tuple[str, str], dict[str, Any]] = {}
+    alerts: dict[tuple[str, str], int] = {}
+    for d in run.decisions:
+        if d.get("kind") != "slo_check":
+            continue
+        inputs = d.get("inputs", {})
+        key = (str(inputs.get("query", "")), str(inputs.get("tenant", "")))
+        last[key] = d
+        if d.get("action") in ("alert", "budget_exhausted"):
+            alerts[key] = alerts.get(key, 0) + 1
+    lines = []
+    for key in sorted(last):
+        d = last[key]
+        inputs = d.get("inputs", {})
+        status = {
+            "alert": "breaching",
+            "budget_exhausted": "breaching",
+            "within_budget": "meeting",
+            "no_results": "no results",
+        }.get(d.get("action", ""), d.get("action", "?"))
+        lines.append(
+            f"- SLO `{key[0]}` (tenant `{key[1] or 'default'}`): "
+            f"p99 target {float(inputs.get('target_p99', 0)) * 1000:.0f} ms, "
+            f"final status **{status}**, {alerts.get(key, 0)} alert(s) fired."
+        )
+    return lines
+
+
+def _latency_section(run: RunData) -> list[str]:
+    """The ``## Latency`` markdown block (empty when the run had latency
+    tracking disabled — disabled runs stay byte-identical to pre-SLO
+    reports)."""
+    groups = _latency_sketches(run)
+    if not groups:
+        return []
+    lines = ["## Latency", ""]
+    lines.append(
+        "End-to-end result latency decomposed by cause (sketches are "
+        "quarter-octave log histograms, so every statistic is accurate "
+        "to bucket tolerance; per-cause counts sum to the e2e count)."
+    )
+    lines.append("")
+    for (query, tenant), causes in sorted(groups.items()):
+        if len(groups) > 1 or query or tenant:
+            lines.append(
+                f"### query `{query or '-'}` / tenant `{tenant or 'default'}`"
+            )
+            lines.append("")
+        lines.append("| cause | count | p50 | p99 | mean |")
+        lines.append("| --- | --- | --- | --- | --- |")
+        for cause in _CAUSE_ORDER:
+            sketch = causes.get(cause)
+            if sketch is None:
+                continue
+            lines.append(
+                f"| {cause} | {sketch.count:,} "
+                f"| {sketch.quantile(0.5):.4f}s "
+                f"| {sketch.quantile(0.99):.4f}s "
+                f"| {sketch.mean():.4f}s |"
+            )
+        lines.append("")
+        story = _why_p99(causes)
+        if story:
+            lines.extend(story)
+            lines.append("")
+    slo_lines = _slo_decision_lines(run)
+    if slo_lines:
+        lines.extend(slo_lines)
+        lines.append("")
+    return lines
+
+
+# ----------------------------------------------------------------------
 # Markdown
 # ----------------------------------------------------------------------
 def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
@@ -542,7 +742,7 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
             lines.append("")
         lines.append(
             "Markers: `R` relocation, `S` spill, `F` forced spill, "
-            "`P` partition split, `M` partition merge, "
+            "`P` partition split, `M` partition merge, `!` SLO alert, "
             "`*` several decisions in one column."
         )
         lines.append("")
@@ -568,7 +768,10 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
             if mine:
                 lines.append("")
 
-    if run.hists:
+    lines.extend(_latency_section(run))
+
+    batch_hists = [h for h in run.hists if h.get("name") != _LATENCY_HIST]
+    if batch_hists:
         lines.append("## Batch efficiency")
         lines.append("")
         lines.append(
@@ -576,7 +779,7 @@ def render_markdown(run: RunData, *, max_log: int | None = None) -> str:
             "upper edges; counts are per bucket)."
         )
         lines.append("")
-        for hist in run.hists:
+        for hist in batch_hists:
             labels = hist.get("labels", {})
             label = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
             title = hist["name"] + (f" ({label})" if label else "")
@@ -647,8 +850,8 @@ def _svg_series(
         x = float(d.get("ts", 0)) / duration * w
         color = {
             "R": "#c0392b", "S": "#2980b9", "F": "#8e44ad",
-            "P": "#27ae60", "M": "#d35400",
-        }[mark]
+            "P": "#27ae60", "M": "#d35400", "!": "#e74c3c",
+        }.get(mark, "#7f8c8d")
         marks.append(
             f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" y2="{h}" '
             f'stroke="{color}" stroke-dasharray="2,2">'
@@ -747,6 +950,49 @@ def render_html(run: RunData) -> str:
 # ----------------------------------------------------------------------
 # Diff
 # ----------------------------------------------------------------------
+def _latency_diff_section(a: RunData, b: RunData, label_a: str,
+                          label_b: str) -> list[str]:
+    """Per-cause p99 comparison naming the adaptation cause whose tail
+    grew the most — how "the adaptation that broke p99" is found."""
+    la, lb = _latency_sketches(a), _latency_sketches(b)
+    keys = sorted(set(la) | set(lb))
+    if not keys:
+        return []
+    lines = ["## Latency (per-cause p99)", ""]
+    for key in keys:
+        ca, cb = la.get(key, {}), lb.get(key, {})
+        if len(keys) > 1 or any(key):
+            lines.append(
+                f"### query `{key[0] or '-'}` / tenant `{key[1] or 'default'}`"
+            )
+            lines.append("")
+        lines.append(f"| cause | {label_a} | {label_b} | delta |")
+        lines.append("| --- | --- | --- | --- |")
+        worst: tuple[str | None, float] = (None, 0.0)
+        for cause in _CAUSE_ORDER:
+            sa, sb = ca.get(cause), cb.get(cause)
+            if sa is None and sb is None:
+                continue
+            pa = sa.quantile(0.99) if sa is not None else 0.0
+            pb = sb.quantile(0.99) if sb is not None else 0.0
+            delta = pb - pa
+            sign = "+" if delta >= 0 else ""
+            lines.append(
+                f"| {cause} | {pa:.4f}s | {pb:.4f}s | {sign}{delta:.4f}s |"
+            )
+            if cause in _ADAPT_CAUSES and delta > worst[1]:
+                worst = (cause, delta)
+        lines.append("")
+        if worst[0] is not None:
+            lines.append(
+                f"Largest adaptation regression: `{worst[0]}` "
+                f"(+{worst[1]:.4f}s p99 from {label_a} to {label_b}) — "
+                f"the adaptation that moved the tail."
+            )
+            lines.append("")
+    return lines
+
+
 def render_diff(a: RunData, b: RunData, *, label_a: str = "A",
                 label_b: str = "B") -> str:
     """Compare two runs side by side (markdown)."""
@@ -789,6 +1035,8 @@ def render_diff(a: RunData, b: RunData, *, label_a: str = "A",
     _row("bytes relocated", sa["bytes_relocated"], sb["bytes_relocated"],
          _fmt_bytes)
     lines.append("")
+
+    lines.extend(_latency_diff_section(a, b, label_a, label_b))
 
     machines = sorted(set(a.machines()) | set(b.machines()))
     if machines:

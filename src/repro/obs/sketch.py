@@ -1,0 +1,196 @@
+r"""Deterministic, mergeable streaming latency sketch.
+
+The latency layer (:mod:`repro.obs.slo`) needs a distribution summary
+that is
+
+* **deterministic** — two same-seed runs must serialize byte-identically,
+  so no randomized sampling (GK/t-digest style) and no float accumulation
+  whose value depends on observation order;
+* **mergeable** — per-machine sketches roll up into per-query /
+  per-tenant / cluster views, and merging must be exactly associative;
+* **cheap** — one bisect + one integer increment per observation on the
+  hot path.
+
+A fixed-bucket log histogram satisfies all three: the bucket boundaries
+are a constant geometric ladder (quarter-octave steps, ~19% bucket
+width), an observation only ever increments an integer count, and a
+merge is integer addition bucket by bucket.  Quantiles and means are
+read off the counts using each bucket's geometric midpoint, so every
+derived statistic is accurate to *bucket tolerance* (the midpoint is
+within a factor of 2\ :sup:`1/8` ≈ 9% of any value in the bucket).
+
+Counts are kept sparse (``{bucket_index: count}``): a typical run
+touches a handful of the 96 buckets.  Index ``-1`` is the underflow
+bucket for values below the 1 ms base — it represents exact zeros
+(e.g. the queueing component of an unqueued result), so its
+representative value is 0.0.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+
+__all__ = ["BUCKET_BOUNDS", "LatencySketch", "bucket_edges"]
+
+#: Lower bucket boundaries in seconds: 1 ms to ~4.6 h in quarter-octave
+#: (2**(1/4)) steps.  Bucket ``i`` covers ``[BOUNDS[i], BOUNDS[i+1])``;
+#: the last bucket is unbounded above, index -1 (underflow) covers
+#: everything below 1 ms.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(0.001 * 2.0 ** (i / 4.0) for i in range(96))
+
+#: Geometric midpoint factor: sqrt(upper/lower) for a quarter-octave bucket.
+_MID = 2.0 ** (1.0 / 8.0)
+
+#: Serialization format version.
+_VERSION = 1
+
+
+def bucket_edges() -> tuple[float, ...]:
+    """The bucket boundaries (for registry histograms sharing the ladder)."""
+    return BUCKET_BOUNDS
+
+
+def _rep(index: int) -> float:
+    """Representative (midpoint) value of one bucket."""
+    if index < 0:
+        return 0.0
+    if index >= len(BUCKET_BOUNDS) - 1:
+        return BUCKET_BOUNDS[-1]
+    return BUCKET_BOUNDS[index] * _MID
+
+
+class LatencySketch:
+    """Fixed-bucket log histogram of latencies (seconds)."""
+
+    __slots__ = ("counts", "count")
+
+    def __init__(self) -> None:
+        #: sparse bucket counts: index -> integer count (index -1 = underflow)
+        self.counts: dict[int, int] = {}
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Recording / merging
+    # ------------------------------------------------------------------
+    def record(self, value: float, weight: int = 1) -> None:
+        if weight <= 0:
+            return
+        idx = bisect_right(BUCKET_BOUNDS, value) - 1
+        self.counts[idx] = self.counts.get(idx, 0) + weight
+        self.count += weight
+
+    def record_zero(self, weight: int) -> None:
+        """Hot-path shortcut for exact-zero observations (no bisect):
+        equivalent to ``record(0.0, weight)``."""
+        if weight <= 0:
+            return
+        self.counts[-1] = self.counts.get(-1, 0) + weight
+        self.count += weight
+
+    def merge(self, other: "LatencySketch") -> "LatencySketch":
+        """Fold ``other`` into this sketch (integer adds: exactly
+        associative and commutative)."""
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+        self.count += other.count
+        return self
+
+    def copy(self) -> "LatencySketch":
+        dup = LatencySketch()
+        dup.counts = dict(self.counts)
+        dup.count = self.count
+        return dup
+
+    # ------------------------------------------------------------------
+    # Statistics (bucket-tolerance accurate)
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """The q-quantile's bucket midpoint (0.0 on an empty sketch)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        need = q * self.count
+        cum = 0
+        for idx in sorted(self.counts):
+            cum += self.counts[idx]
+            if cum >= need:
+                return _rep(idx)
+        return _rep(max(self.counts))
+
+    def sum(self) -> float:
+        """Midpoint-weighted total of all observations."""
+        return sum(n * _rep(idx) for idx, n in sorted(self.counts.items()))
+
+    def mean(self) -> float:
+        return self.sum() / self.count if self.count else 0.0
+
+    def count_above(self, threshold: float) -> int:
+        """Observations in buckets whose representative exceeds ``threshold``."""
+        return sum(
+            n for idx, n in self.counts.items() if _rep(idx) > threshold
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "v": _VERSION,
+            "counts": {str(idx): n for idx, n in self.counts.items()},
+        }
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization: counts only (integers), sorted
+        keys, compact separators — byte-identical for equal contents."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("ascii")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySketch":
+        if data.get("v") != _VERSION:
+            raise ValueError(f"unsupported sketch version {data.get('v')!r}")
+        sketch = cls()
+        for key, n in data["counts"].items():
+            sketch.counts[int(key)] = int(n)
+        sketch.count = sum(sketch.counts.values())
+        return sketch
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "LatencySketch":
+        return cls.from_dict(json.loads(blob.decode("ascii")))
+
+    # ------------------------------------------------------------------
+    # Registry-histogram bridge
+    # ------------------------------------------------------------------
+    def bucket_counts(self) -> list[int]:
+        """Counts in registry-histogram layout: ``len(BUCKET_BOUNDS) + 1``
+        slots, slot 0 = underflow, last slot = top (unbounded) bucket."""
+        out = [0] * (len(BUCKET_BOUNDS) + 1)
+        for idx, n in self.counts.items():
+            out[idx + 1] = n
+        return out
+
+    @classmethod
+    def from_bucket_counts(cls, counts) -> "LatencySketch":
+        """Inverse of :meth:`bucket_counts` (the report generator rebuilds
+        sketches from run-file histogram rows)."""
+        sketch = cls()
+        for slot, n in enumerate(counts):
+            if n:
+                sketch.counts[slot - 1] = int(n)
+        sketch.count = sum(sketch.counts.values())
+        return sketch
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LatencySketch):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencySketch(count={self.count}, p50={self.quantile(0.5):.4f}, "
+            f"p99={self.quantile(0.99):.4f})"
+        )

@@ -208,6 +208,12 @@ class RecoveryManager:
         session = RecoverySession(machine=machine, started_at=now)
         session.pending_pause_acks = set(self.split_hosts)
         self.session = session
+        lat = getattr(self.metrics, "latency", None)
+        if lat is not None:
+            # One query-level recovering window over every worker: the
+            # engine-side restore path records nothing, so a recovery is
+            # attributed exactly once.
+            lat.recovering_begin(self.workers, now)
         tracer = self.metrics.tracer
         if tracer.enabled:
             session.trace_span = tracer.begin_span(
@@ -468,6 +474,9 @@ class RecoveryManager:
                 bytes_restored=session.bytes_restored,
                 tuples_replayed=session.tuples_replayed,
             )
+        lat = getattr(self.metrics, "latency", None)
+        if lat is not None:
+            lat.recovering_end(self.workers, self.sim.now)
         self.history.append(session)
         self.session = None
 

@@ -110,12 +110,23 @@ class ClusterGC:
             if t["budget"] > 0 and t["usage"] > t["budget"]
         }
         victims: list[dict] = []
+        lat = server.metrics.latency
         for group in server.active_groups():
             member_tenants = sorted(
                 {server.queries[qid].tenant for qid in group.members}
             )
             ratios = [(over.get(name, 0.0), name) for name in member_tenants]
             overuse, worst_tenant = max(ratios)
+            # SLO shield (repro.obs.slo): fairness-weighted spill prefers
+            # victims of queries *meeting* their SLO, so an already-
+            # breaching query is not pushed further over.  The factor only
+            # appears in the snapshot when latency tracking is on — a
+            # disabled run's ledger stays byte-identical to the seed.
+            slo_factor = None
+            if lat is not None:
+                slo_factor = 0.25 if any(
+                    lat.breaching(qid) for qid in sorted(group.members)
+                ) else 1.0
             for name in sorted(group.deployment.engines):
                 engine = group.deployment.engines[name]
                 if not engine.alive:
@@ -127,14 +138,18 @@ class ClusterGC:
                 rate = machine_productivity_rate(
                     store.outputs_total, store.group_count
                 )
-                victims.append({
+                victim = {
                     "engine": name,
                     "group": group.gid,
                     "tenant": worst_tenant,
                     "state_bytes": store.total_bytes,
                     "productivity": rate,
                     "score": overuse * store.total_bytes / (1.0 + rate),
-                })
+                }
+                if slo_factor is not None:
+                    victim["slo_factor"] = slo_factor
+                    victim["score"] *= slo_factor
+                victims.append(victim)
         return tenants, victims
 
     def evaluate(self) -> None:

@@ -35,6 +35,7 @@ from repro.engine.plan import Deployment
 from repro.engine.streams import OutputCollector
 from repro.obs.hub import ObsHub
 from repro.obs.ledger import KIND_ADMISSION
+from repro.obs.slo import SLOConfig
 from repro.serving.arbiter import ArbitratedCoordinator, RelocationArbiter
 from repro.serving.folding import FanOutCollector, FoldGroup, fold_signature
 from repro.serving.gc import ClusterGC
@@ -77,6 +78,11 @@ class QuerySpec:
     seed: int = 11
     collect_results: bool = True
     assignment: dict[str, float] | None = None
+    #: optional latency objective (:class:`~repro.obs.slo.SLOConfig`).
+    #: Deliberately excluded from the fold signature: an SLO is a
+    #: per-query promise, not a physical knob — folded members sharing
+    #: one runtime each get their own monitor against their own target.
+    slo: "SLOConfig | None" = None
 
     def nominal_demand(self) -> int:
         if self.memory_demand:
@@ -129,6 +135,7 @@ class QueryServer:
         gc_interval: float = 5.0,
         gc_spill_fraction: float = 0.5,
         gc_min_spill_bytes: int = 1024,
+        latency: bool = False,
     ) -> None:
         if cluster_capacity <= 0:
             raise ValueError("cluster_capacity must be positive")
@@ -141,10 +148,13 @@ class QueryServer:
         self.cluster_used = 0
         self.cost = cost or CostModel()
         self.fold_enabled = fold_enabled
+        self.latency = latency
 
         self.sim = Simulator()
         self.metrics = ObsHub()
         self.metrics.registry.bind_clock(lambda: self.sim.now)
+        if latency:
+            self.metrics.enable_latency()
         if tracer is not None:
             self.metrics.tracer = tracer
             tracer.bind_clock(lambda: self.sim.now)
@@ -188,6 +198,11 @@ class QueryServer:
             raise RuntimeError("server already finished; build a fresh one")
         if spec.tenant not in self.tenants:
             raise ValueError(f"unknown tenant {spec.tenant!r}")
+        if spec.slo is not None and not self.latency:
+            raise ValueError(
+                "spec carries an SLO but the server was built without "
+                "latency tracking: pass latency=True to QueryServer"
+            )
         tenant = self.tenants[spec.tenant]
         demand = spec.nominal_demand()
         self._seq += 1
@@ -226,6 +241,13 @@ class QueryServer:
             candidate.attach(qid, handle.collector)
             tenant.admitted_demand += demand
             self.queries[qid] = handle
+            if spec.slo is not None:
+                # The fan-out delivers the full result stream to every
+                # member, so this member's monitor reads the shared
+                # runtime's trackers against its own target.
+                self._attach_slo_monitor(
+                    candidate.deployment, qid, tenant.name, spec.slo
+                )
             self._admission_counts["fold"] += 1
             if ledger.enabled:
                 ledger.record(
@@ -300,6 +322,8 @@ class QueryServer:
             collector=fanout,
             coordinator_factory=self._make_coordinator,
             metric_labels={"tenant": tenant.name, "query": qid},
+            latency=self.latency,
+            slo=spec.slo,
         )
         group = FoldGroup(
             gid=qid, signature=signature, deployment=deployment,
@@ -341,6 +365,27 @@ class QueryServer:
     def _make_coordinator(self, *args, **kwargs) -> ArbitratedCoordinator:
         return ArbitratedCoordinator(*args, arbiter=self.arbiter, **kwargs)
 
+    def _attach_slo_monitor(
+        self, deployment: Deployment, qid: str, tenant: str, slo: SLOConfig
+    ) -> None:
+        """Give a folded member its own burn-rate monitor over the shared
+        runtime's engines, ticked from that runtime's coordinator loop."""
+        from repro.obs.slo import SLOMonitor
+
+        monitor = SLOMonitor(
+            self.metrics.latency,
+            query=qid,
+            tenant=tenant,
+            slo=slo,
+            machines=list(deployment.engines),
+            site=deployment.coordinator_name,
+            ledger=self.metrics.ledger,
+            tracer=self.metrics.tracer,
+            events=self.metrics.events,
+        )
+        self.metrics.latency.monitors[qid] = monitor
+        deployment.coordinator.slo_monitors.append(monitor)
+
     # ------------------------------------------------------------------
     # Drain / retirement
     # ------------------------------------------------------------------
@@ -356,6 +401,14 @@ class QueryServer:
             raise ValueError(f"query {qid!r} is {handle.status}, not running")
         group = self.groups[handle.group]
         group.detach(qid)
+        lat = self.metrics.latency
+        if lat is not None and qid in lat.monitors:
+            # a drained query's promise retires with it: stop ticking and
+            # alerting on its behalf (the sketches stay for the report)
+            monitor = lat.monitors.pop(qid)
+            coordinator = group.deployment.coordinator
+            if monitor in coordinator.slo_monitors:
+                coordinator.slo_monitors.remove(monitor)
         self.tenants[handle.tenant].admitted_demand -= handle.demand
         self.metrics.events.record(
             self.sim.now, "query_drain", group.gid,
